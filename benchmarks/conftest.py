@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (see the
+per-experiment index in DESIGN.md), asserts its qualitative shape, prints
+the regenerated table, and stores the series in ``benchmark.extra_info``
+so the JSON output of ``pytest-benchmark`` archives the numbers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.records import ExperimentResult
+from repro.experiments.tables import format_table
+
+
+def attach(benchmark, result: ExperimentResult) -> None:
+    """Print a result table and stash its series in the benchmark record."""
+    print()
+    print(format_table(result))
+    benchmark.extra_info["experiment_id"] = result.experiment_id
+    for s in result.series:
+        benchmark.extra_info[s.name] = list(zip(s.xs, s.ys))

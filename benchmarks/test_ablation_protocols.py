@@ -1,0 +1,44 @@
+"""Ablation: arrow vs NTA/Ivy adaptive pointers vs centralized (§1.1).
+
+Message counts per operation on a complete network under a contended
+Poisson workload, plus the service-time sensitivity of the Fig. 10 gap.
+"""
+
+import math
+
+from benchmarks.conftest import attach
+from repro.experiments.ablations import run_protocol_ablation, run_service_time_ablation
+
+
+def test_protocol_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_protocol_ablation(num_nodes=48, requests=300, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    attach(benchmark, result)
+    msgs = result.series_by_name("messages/op").ys
+    arrow_bin, arrow_star, nta, central = msgs
+    # Centralized: exactly <= 2 messages per op.
+    assert central <= 2.0 + 1e-9
+    # NTA/Ivy pointers: around O(log n) forwards per op.
+    assert nta <= 2.0 * math.log2(48)
+    # Arrow on the binary tree: bounded by tree-distance ~ 2 log n.
+    assert arrow_bin <= 2.0 * math.log2(48) + 2
+    # Star tree keeps arrow within 2 hops/op + reply.
+    assert arrow_star <= 4.0
+
+
+def test_service_time_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_service_time_ablation(
+            num_procs=48, requests_per_proc=100, service_times=[0.0, 0.1, 0.2, 0.4]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    arrow = result.series_by_name("arrow").ys
+    central = result.series_by_name("centralized").ys
+    gaps = [c - a for a, c in zip(arrow, central)]
+    # The centralized disadvantage grows monotonically with CPU cost.
+    assert all(g2 >= g1 - 1e-9 for g1, g2 in zip(gaps, gaps[1:]))

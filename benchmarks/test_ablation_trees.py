@@ -1,0 +1,22 @@
+"""Ablation: spanning-tree choice (MST / BFS / random) vs arrow cost."""
+
+from benchmarks.conftest import attach
+from repro.experiments.ablations import run_tree_ablation
+
+
+def test_tree_choice_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_tree_ablation(num_nodes=48, requests=150, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    attach(benchmark, result)
+    stretch = result.series_by_name("stretch").ys
+    cost = result.series_by_name("arrow total latency").ys
+    assert all(s >= 1.0 for s in stretch)
+    assert all(c > 0 for c in cost)
+    # The minimum-stretch candidate is within 30% of the best cost: the
+    # analysis' guidance (lower stretch => lower cost) holds empirically.
+    best_cost = min(cost)
+    low_stretch_cost = cost[stretch.index(min(stretch))]
+    assert low_stretch_cost <= 1.3 * best_cost

@@ -1,0 +1,30 @@
+"""Theorem 3.19: the O(s log D) competitive upper bound, synchronous.
+
+Measured ratios on random dynamic workloads must stay under the explicit
+proof-chain ceiling at every diameter, and grow at most logarithmically.
+"""
+
+import math
+
+from benchmarks.conftest import attach
+from repro.experiments.competitive import run_competitive_sweep
+
+DIAMETERS = [8, 16, 32, 64, 128, 256]
+
+
+def test_theorem_319_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_competitive_sweep(DIAMETERS, requests=60, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    attach(benchmark, result)
+    hi = result.series_by_name("ratio (vs opt lower bd)").ys
+    ceil = result.series_by_name("O(s log D) ceiling").ys
+    # The bound holds everywhere.
+    assert all(h <= c for h, c in zip(hi, ceil))
+    # Growth is at most logarithmic: ratio(D) / log2(D) does not blow up.
+    normalised = [h / math.log2(d) for h, d in zip(hi, DIAMETERS)]
+    assert max(normalised) <= 3.0 * normalised[0] + 1.0
+    # Random workloads sit far below the worst case.
+    assert max(h / c for h, c in zip(hi, ceil)) < 0.1

@@ -1,0 +1,30 @@
+"""§5.1 related experiment: arrow vs home-based distributed directory.
+
+Paper's claim (Herlihy & Warres): the arrow directory outperforms the
+home-based directory over the whole 2-16 processing-element range.
+"""
+
+from benchmarks.conftest import attach
+from repro.experiments.directory_comparison import run_directory_comparison
+
+PROCS = [2, 4, 8, 12, 16]
+
+
+def test_directory_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_directory_comparison(PROCS, acquisitions_per_proc=50),
+        rounds=1,
+        iterations=1,
+    )
+    attach(benchmark, result)
+    arrow = result.series_by_name("arrow directory").ys
+    home = result.series_by_name("home-based directory").ys
+    # Arrow wins at every size in the §5.1 range.
+    assert all(a < h for a, h in zip(arrow, home))
+    # ... and by a widening absolute margin as the system grows.
+    margins = [h - a for a, h in zip(arrow, home)]
+    assert margins[-1] > margins[0]
+    # Message economics: direct hand-off beats home indirection.
+    amsg = result.series_by_name("arrow msgs/acq").ys
+    hmsg = result.series_by_name("home msgs/acq").ys
+    assert all(a < h for a, h in zip(amsg, hmsg))

@@ -1,0 +1,29 @@
+"""Figure 10: arrow vs centralized closed-loop total time.
+
+Paper's claim: the centralized protocol slows down linearly with the
+processor count; arrow is sub-linear and nearly flat at scale, winning
+beyond a small crossover.
+"""
+
+from benchmarks.conftest import attach
+from repro.experiments.fig10 import run_fig10
+
+PROCS = [2, 4, 8, 16, 32, 48, 64, 76]
+
+
+def test_fig10_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig10(PROCS, requests_per_proc=200), rounds=1, iterations=1
+    )
+    attach(benchmark, result)
+    arrow = result.series_by_name("arrow").ys
+    central = result.series_by_name("centralized").ys
+    # Centralized: super-linear overall growth 2 -> 76 processors.
+    assert central[-1] > 2.5 * central[0]
+    # Arrow: nearly flat (well under 2x across a 38x size increase).
+    assert arrow[-1] < 2.0 * arrow[0]
+    # Arrow wins at scale.
+    assert arrow[-1] < 0.6 * central[-1]
+    # At the smallest sizes the two are comparable (the paper's curves
+    # start together): within 25% of each other.
+    assert abs(arrow[0] - central[0]) < 0.25 * central[0]

@@ -1,0 +1,36 @@
+"""Figure 9: the D=64, k=6 lower-bound instance.
+
+Regenerates the instance picture and costs for both the literal
+construction and the bitonic layered reconstruction; asserts the comb
+bound keeps the optimal cost O(D) while arrow pays a growing factor more
+(see the reproduction note in repro.lowerbound.layered).
+"""
+
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_instance(benchmark):
+    reports = benchmark.pedantic(
+        lambda: (run_fig9(64, 6, variant="literal"), run_fig9(64, 3, variant="layered")),
+        rounds=1,
+        iterations=1,
+    )
+    literal, layered = reports
+    print()
+    for rep in reports:
+        print(f"[{rep.variant}] D={rep.D} k={rep.k} |R|={rep.num_requests} "
+              f"arrow={rep.arrow_cost:.0f} sweep-target={rep.sweep_target:.0f} "
+              f"opt<={rep.opt_upper:.0f} ratio>={rep.ratio:.2f}")
+    print()
+    print(layered.picture)
+    benchmark.extra_info["literal_ratio"] = literal.ratio
+    benchmark.extra_info["layered_ratio"] = layered.ratio
+
+    # Opt stays linear in D on both variants (comb bound / heuristic).
+    assert literal.opt_upper <= 3 * 64
+    assert layered.opt_upper <= 3 * 64
+    # The comb spanning structure is O(D) as the proof requires.
+    assert literal.comb_weight <= 6 * 64
+    # Arrow pays a real factor more than opt on both.
+    assert literal.ratio >= 1.3
+    assert layered.ratio >= 2.0

@@ -1,0 +1,22 @@
+"""Theorem 4.2: lower bound scaling with the spanning tree's stretch."""
+
+from benchmarks.conftest import attach
+from repro.experiments.lowerbound_sweep import run_theorem42_sweep
+
+STRETCHES = [1, 2, 4, 8]
+
+
+def test_theorem_42_stretch_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_theorem42_sweep(STRETCHES, D_over_s=64), rounds=1, iterations=1
+    )
+    attach(benchmark, result)
+    ratios = result.series_by_name("measured ratio").ys
+    stretch = result.series_by_name("measured tree stretch").ys
+    # The constructions realise their prescribed stretch exactly.
+    assert stretch == [float(s) for s in STRETCHES]
+    # Ratio grows linearly with s once the stretch term dominates the
+    # (constant-at-this-scale) log term: each doubling of s doubles it.
+    assert ratios[2] >= 2.0 * ratios[1] - 1e-9
+    assert ratios[3] >= 2.0 * ratios[2] - 1e-9
+    assert all(r >= s for r, s in zip(ratios, stretch))

@@ -1,0 +1,21 @@
+"""Fast-executor performance: the O(|R|^2) NN path at experiment scales."""
+
+from repro.analysis.nearest_neighbor import predict_arrow_run
+from repro.lowerbound.layered import layered_instance
+from repro.spanning import SpanningTree
+from repro.workloads.schedules import random_times
+
+
+def test_nn_executor_on_large_schedule(benchmark):
+    tree = SpanningTree([max(0, i - 1) for i in range(256)], root=0)
+    sched = random_times(256, 1500, horizon=500.0, seed=0)
+
+    pred = benchmark(lambda: predict_arrow_run(tree, sched))
+    assert len(pred.order) == 1500
+
+
+def test_nn_executor_on_lowerbound_instance(benchmark):
+    inst = layered_instance(1024, 5)
+
+    pred = benchmark(lambda: predict_arrow_run(inst.tree, inst.schedule))
+    assert len(pred.order) == len(inst.schedule)

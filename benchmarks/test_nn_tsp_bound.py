@@ -1,0 +1,61 @@
+"""Theorem 3.18: the generalised NN-TSP bound on random dominated pairs.
+
+Generates random metric / dominated-cost pairs plus the actual (c_T, c_M)
+pairs from simulated schedules; the bound must hold on every instance and
+the measured factors should sit well below it.
+"""
+
+import numpy as np
+
+from repro.analysis.costs import (
+    augmented_nodes_times,
+    c_m_matrix,
+    c_t_matrix,
+    request_distance_matrix,
+)
+from repro.analysis.nn_tsp import check_theorem_318
+from repro.sim.rng import spawn_rng
+from repro.spanning import SpanningTree
+from repro.workloads.schedules import random_times
+
+
+def random_metric(m, seed):
+    rng = spawn_rng(seed, "bench-metric")
+    C = rng.random((m, m)) * 10
+    C = (C + C.T) / 2
+    np.fill_diagonal(C, 0.0)
+    for k in range(m):
+        C = np.minimum(C, C[:, k][:, None] + C[k, :][None, :])
+    return C, rng
+
+
+def run_checks():
+    reports = []
+    # 20 synthetic dominated pairs.
+    for seed in range(20):
+        Do, rng = random_metric(10, seed)
+        Dn = Do * rng.uniform(0.05, 1.0, size=Do.shape)
+        np.fill_diagonal(Dn, 0.0)
+        reports.append(check_theorem_318(Dn, Do, exact_limit=9))
+    # 10 arrow (c_T, c_M) pairs from random schedules on a chain.
+    tree = SpanningTree([max(0, i - 1) for i in range(12)], root=0)
+    for seed in range(10):
+        sched = random_times(12, 9, horizon=15.0, seed=seed)
+        nodes, times = augmented_nodes_times(sched, tree.root)
+        D = request_distance_matrix(tree, nodes)
+        reports.append(
+            check_theorem_318(c_t_matrix(D, times), c_m_matrix(D, times), exact_limit=9)
+        )
+    return reports
+
+
+def test_theorem_318(benchmark):
+    reports = benchmark.pedantic(run_checks, rounds=1, iterations=1)
+    assert all(r.holds for r in reports)
+    factors = [r.ratio / r.bound_factor for r in reports if r.bound_factor > 0]
+    print(f"\nchecked {len(reports)} instances; "
+          f"max measured/bound = {max(factors):.3f}")
+    benchmark.extra_info["instances"] = len(reports)
+    benchmark.extra_info["max_measured_over_bound"] = max(factors)
+    # Measured NN/opt never exhausts the bound on random instances.
+    assert max(factors) < 1.0

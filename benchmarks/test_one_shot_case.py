@@ -1,0 +1,18 @@
+"""The one-shot concurrent case ([10]): ratio vs |R| under s log|R|."""
+
+from benchmarks.conftest import attach
+from repro.experiments.one_shot_analysis import run_one_shot_analysis
+
+
+def test_one_shot_bound(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_one_shot_analysis([4, 8, 16, 32, 64], seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    attach(benchmark, result)
+    hi = result.series_by_name("ratio (vs opt lower bd)").ys
+    ceil = result.series_by_name("s log|R| ceiling").ys
+    assert all(h <= c for h, c in zip(hi, ceil))
+    # Measured one-shot ratios are modest and grow at most ~log |R|.
+    assert hi[-1] <= 4.0 * hi[0] + 4.0

@@ -1,0 +1,21 @@
+"""The sequential regime baseline ([4], §1.1): per-op <= D, ratio <= s."""
+
+from benchmarks.conftest import attach
+from repro.experiments.sequential import run_sequential_experiment
+
+
+def test_sequential_regime(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sequential_experiment(num_requests=40, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    attach(benchmark, result)
+    max_cost = result.series_by_name("max per-op latency").ys
+    diam = result.series_by_name("tree diameter D").ys
+    ratio = result.series_by_name("total ratio (vs seq opt)").ys
+    stretch = result.series_by_name("tree stretch s").ys
+    for c, d in zip(max_cost, diam):
+        assert c <= d + 1e-9
+    for r, s in zip(ratio, stretch):
+        assert r <= s + 1e-9

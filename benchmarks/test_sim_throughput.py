@@ -1,0 +1,51 @@
+"""Simulator performance: events/second and protocol ops/second.
+
+Not a paper figure — the engineering benchmark that keeps the substrate
+fast enough for the experiment sweeps (profile before optimising; see the
+HPC guide notes in DESIGN.md).
+"""
+
+from repro.core.runner import run_arrow
+from repro.graphs import complete_graph
+from repro.sim.kernel import Simulator
+from repro.spanning import balanced_binary_overlay
+from repro.workloads.closed_loop import closed_loop_arrow
+from repro.workloads.schedules import poisson
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = 20_000
+
+        def tick(i):
+            if i < count:
+                sim.call_in(1.0, tick, i + 1)
+
+        sim.call_at(0.0, tick, 0)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run_events)
+    assert fired == 20_001
+
+
+def test_arrow_open_loop_throughput(benchmark):
+    g = complete_graph(32)
+    tree = balanced_binary_overlay(g, 0)
+    sched = poisson(32, 1000, rate=20.0, seed=0)
+
+    res = benchmark(lambda: run_arrow(g, tree, sched))
+    assert len(res.completions) == 1000
+
+
+def test_arrow_closed_loop_throughput(benchmark):
+    g = complete_graph(32)
+    tree = balanced_binary_overlay(g, 0)
+
+    res = benchmark(
+        lambda: closed_loop_arrow(
+            g, tree, requests_per_proc=50, service_time=0.1, think_time=0.1
+        )
+    )
+    assert res.completions == 1600

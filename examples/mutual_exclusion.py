@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Distributed mutual exclusion over the arrow queue (§1 of the paper).
+
+The motivating application: a single mobile object (a lock, a file, a
+privilege) must move between processors so that at most one holds it at a
+time.  Each acquisition is a queuing request; the queue order is the lock
+order; the object travels directly from each holder to its successor's
+node once released.
+
+This example runs a contended workload on a grid network, replays the
+token motion, verifies mutual exclusion, and prints per-node wait times
+and the object's travel distance — contrasted with a centralized lock
+manager on the same workload.
+
+Run:  python examples/mutual_exclusion.py
+"""
+
+from repro import run_arrow, run_centralized, verify_total_order
+from repro.graphs import grid_graph, shortest_path
+from repro.spanning import bfs_tree, mst_prim
+from repro.workloads import poisson
+
+
+CS_TIME = 1.5  # critical-section duration at each holder
+
+
+def replay_token(graph, order, schedule, start_node):
+    """Replay the object's motion down the queue; return intervals/travel."""
+    intervals = []
+    travel = 0.0
+    holder, release_time = start_node, 0.0
+    from repro.graphs import dijkstra
+
+    dcache = {}
+
+    def dist(u, v):
+        if u not in dcache:
+            dcache[u] = dijkstra(graph, u)[0]
+        return dcache[u][v]
+
+    for rid in order:
+        req = schedule.by_rid(rid)
+        arrive = release_time + dist(holder, req.node)
+        acquire = max(req.time, arrive)
+        release = acquire + CS_TIME
+        intervals.append((rid, req.node, acquire, release))
+        travel += dist(holder, req.node)
+        holder, release_time = req.node, release
+    return intervals, travel
+
+
+def main() -> None:
+    graph = grid_graph(5, 5)
+    tree = bfs_tree(graph, root=12)  # root at the grid centre
+    schedule = poisson(25, count=30, rate=0.8, seed=7)
+
+    result = run_arrow(graph, tree, schedule)
+    order = verify_total_order(result)
+    intervals, travel = replay_token(graph, order, schedule, tree.root)
+
+    # Mutual exclusion: no two critical sections overlap.
+    for (_, _, a1, r1), (_, _, a2, r2) in zip(intervals, intervals[1:]):
+        assert r1 <= a2 + 1e-9, "exclusion violated"
+
+    waits = [a - schedule.by_rid(rid).time for rid, _, a, _ in intervals]
+    print("arrow lock service over a 5x5 grid, 30 acquisitions:")
+    print(f"  queuing messages:       {result.network_stats['messages_sent']}")
+    print(f"  object travel distance: {travel:.0f} hops")
+    print(f"  mean wait to acquire:   {sum(waits)/len(waits):.2f}")
+    print(f"  max wait to acquire:    {max(waits):.2f}")
+
+    central = run_centralized(graph, 12, schedule)
+    verify_total_order(central)
+    print("\ncentralized manager on the same workload:")
+    print(f"  queuing messages:       {central.network_stats['messages_sent']}")
+    print(f"  total queuing latency:  {central.total_latency:.0f} "
+          f"(arrow: {result.total_latency:.0f})")
+    print("\nmutual exclusion verified: no overlapping critical sections.")
+
+
+if __name__ == "__main__":
+    main()

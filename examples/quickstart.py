@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: run the arrow protocol on a small network.
+
+Builds a 16-node network (complete graph, as on the paper's SP2), selects
+a balanced binary spanning tree, issues a handful of concurrent queuing
+requests, and prints the resulting total order together with per-request
+latencies and hop counts — then cross-checks the simulated order against
+the paper's nearest-neighbour characterisation (Lemma 3.8).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RequestSchedule, run_arrow, verify_total_order
+from repro.analysis import check_lemma_3_8, predict_arrow_run
+from repro.graphs import complete_graph
+from repro.spanning import balanced_binary_overlay, tree_diameter, tree_stretch
+
+
+def main() -> None:
+    # 1. The network: 16 processors, any-to-any unit-latency links.
+    graph = complete_graph(16)
+
+    # 2. The pre-selected spanning tree (pointers live on its edges).
+    tree = balanced_binary_overlay(graph, root=0)
+    print(f"spanning tree: diameter D = {tree_diameter(tree):.0f}, "
+          f"stretch s = {tree_stretch(graph, tree).stretch:.0f}")
+
+    # 3. A queuing workload: (node, issue-time) pairs; several concurrent.
+    schedule = RequestSchedule(
+        [
+            (5, 0.0),   # three requests at t = 0 race toward the root
+            (9, 0.0),
+            (14, 0.0),
+            (3, 2.0),   # later requests chase the moving queue tail
+            (9, 2.5),
+            (11, 4.0),
+        ]
+    )
+
+    # 4. Run the protocol (synchronous model: every link takes 1 time unit).
+    result = run_arrow(graph, tree, schedule)
+    order = verify_total_order(result)
+
+    print("\nqueue order (request ids):", order)
+    print(f"{'rid':>4} {'node':>4} {'t_issue':>8} {'latency':>8} {'hops':>5} "
+          f"{'behind':>6}")
+    for rid in order:
+        req = schedule.by_rid(rid)
+        rec = result.completions[rid]
+        print(f"{rid:>4} {req.node:>4} {req.time:>8.1f} "
+              f"{result.latency(rid):>8.1f} {rec.hops:>5} {rec.predecessor:>6}")
+
+    print(f"\ntotal latency (Definition 3.3): {result.total_latency:.1f}")
+    print(f"messages sent: {result.network_stats['messages_sent']}")
+
+    # 5. The paper's key structural fact: the order is a nearest-neighbour
+    #    TSP path under the cost c_T (Lemma 3.8).
+    assert check_lemma_3_8(tree, schedule, order), "NN property violated?!"
+    predicted = predict_arrow_run(tree, schedule)
+    print(f"fast-executor prediction matches: "
+          f"{predicted.order == order} (ties: {predicted.had_ties})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim; metadata lives in pyproject.toml (see note there)."""
+
+from setuptools import setup
+
+setup()

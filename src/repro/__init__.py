@@ -1,0 +1,76 @@
+"""repro — a reproduction of the arrow distributed queuing protocol paper.
+
+Herlihy, Kuhn, Tirthapura, Wattenhofer: *Dynamic Analysis of the Arrow
+Distributed Protocol* (SPAA 2004; Theory of Computing Systems 39, 2006).
+
+Public API tour
+---------------
+* build a network:      :mod:`repro.graphs` (topologies) and
+  :mod:`repro.spanning` (spanning trees, stretch/diameter metrics);
+* run protocols:        :func:`repro.core.run_arrow`,
+  :func:`repro.core.run_centralized`, :func:`repro.core.run_adaptive`,
+  and the closed-loop drivers in :mod:`repro.workloads`;
+* analyse (Section 3):  :mod:`repro.analysis` — cost measures, the
+  nearest-neighbour characterisation, optimal-offline brackets,
+  competitive-ratio reports;
+* adversarial inputs:   :mod:`repro.lowerbound` (Section 4 constructions);
+* paper figures:        :mod:`repro.experiments` and the ``repro-arrow``
+  command-line interface.
+"""
+
+from repro._version import __version__
+from repro.analysis import (
+    CompetitiveReport,
+    measure_competitive_ratio,
+    predict_arrow_run,
+)
+from repro.core import (
+    RequestSchedule,
+    RunResult,
+    run_adaptive,
+    run_arrow,
+    run_centralized,
+    verify_total_order,
+)
+from repro.errors import ReproError
+from repro.graphs import Graph
+from repro.net import Network, UniformLatency, UnitLatency
+from repro.sim import Simulator
+from repro.spanning import (
+    SpanningTree,
+    balanced_binary_overlay,
+    bfs_tree,
+    mst_kruskal,
+    mst_prim,
+    tree_diameter,
+    tree_stretch,
+)
+from repro.workloads import closed_loop_arrow, closed_loop_centralized
+
+__all__ = [
+    "__version__",
+    "CompetitiveReport",
+    "measure_competitive_ratio",
+    "predict_arrow_run",
+    "RequestSchedule",
+    "RunResult",
+    "run_adaptive",
+    "run_arrow",
+    "run_centralized",
+    "verify_total_order",
+    "ReproError",
+    "Graph",
+    "Network",
+    "UniformLatency",
+    "UnitLatency",
+    "Simulator",
+    "SpanningTree",
+    "balanced_binary_overlay",
+    "bfs_tree",
+    "mst_kruskal",
+    "mst_prim",
+    "tree_diameter",
+    "tree_stretch",
+    "closed_loop_arrow",
+    "closed_loop_centralized",
+]

@@ -1,0 +1,186 @@
+"""Cost measures over request sets (Section 3 of the paper).
+
+All measures are materialised as dense ``(m x m)`` numpy matrices over the
+*augmented* request list: index 0 is the virtual root request
+``r_0 = (root, 0)`` and index ``i >= 1`` is the request with canonical id
+``i - 1``.  Entry ``[i, j]`` is the cost of placing request ``j``
+immediately after request ``i`` in a queuing order.
+
+Implemented measures (``times`` is the issue-time vector, ``D`` a distance
+matrix between the requests' nodes — tree distances ``d_T`` or graph
+distances ``d_G`` depending on the caller):
+
+* ``c_A`` (eq. 1):   ``D[i, j]`` — arrow's latency for consecutive requests;
+* ``c_T`` (Def. 3.5): ``t_j - t_i + D`` if non-negative, else
+  ``t_i - t_j + D`` — the asymmetric cost whose nearest-neighbour path is
+  exactly arrow's queuing order (Lemma 3.8);
+* ``c_M`` (Def. 3.14): ``D + |t_i - t_j|`` — the Manhattan metric;
+* ``c_O`` / ``c_Opt`` (eq. 3): ``max(D, t_i - t_j)`` with tree / graph
+  distances respectively — the per-link lower bound on any offline
+  algorithm's latency.
+
+The matrices satisfy (and the property tests verify): ``0 <= c_T <= c_M``,
+``c_M`` is a metric, ``c_O <= c_M``, and ``c_O`` with tree distances is at
+most ``s`` times ``c_Opt`` with graph distances.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.core.requests import RequestSchedule
+from repro.errors import AnalysisError
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra
+from repro.spanning.tree import SpanningTree
+
+__all__ = [
+    "augmented_nodes_times",
+    "tree_node_distances",
+    "graph_node_distances",
+    "request_distance_matrix",
+    "c_a_matrix",
+    "c_t_matrix",
+    "c_m_matrix",
+    "c_o_matrix",
+    "path_cost",
+    "order_to_indices",
+    "indices_to_order",
+]
+
+
+def augmented_nodes_times(
+    schedule: RequestSchedule, root: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Node and time vectors with the virtual root request at index 0."""
+    nodes = np.empty(len(schedule) + 1, dtype=np.int64)
+    times = np.empty(len(schedule) + 1, dtype=np.float64)
+    nodes[0] = root
+    times[0] = 0.0
+    for r in schedule:
+        nodes[r.rid + 1] = r.node
+        times[r.rid + 1] = r.time
+    return nodes, times
+
+
+def tree_node_distances(tree: SpanningTree, needed: np.ndarray) -> dict[int, np.ndarray]:
+    """Weighted tree distances from each distinct node in ``needed``.
+
+    One O(n) traversal per distinct source — cheaper than pairwise LCA
+    queries when requests repeat nodes, which they do in every workload.
+    """
+    out: dict[int, np.ndarray] = {}
+    n = tree.num_nodes
+    for src in {int(x) for x in needed}:
+        dist = np.full(n, np.inf)
+        dist[src] = 0.0
+        dq: deque[int] = deque([src])
+        while dq:
+            u = dq.popleft()
+            du = dist[u]
+            for v in tree.neighbors(u):
+                if math.isinf(dist[v]):
+                    w = (
+                        tree.edge_weight[v]
+                        if tree.parent[v] == u
+                        else tree.edge_weight[u]
+                    )
+                    dist[v] = du + w
+                    dq.append(v)
+        out[src] = dist
+    return out
+
+
+def graph_node_distances(graph: Graph, needed: np.ndarray) -> dict[int, np.ndarray]:
+    """Shortest-path ``d_G`` distances from each distinct node in ``needed``."""
+    out: dict[int, np.ndarray] = {}
+    for src in {int(x) for x in needed}:
+        out[src] = np.asarray(dijkstra(graph, src)[0], dtype=np.float64)
+    return out
+
+
+def request_distance_matrix(
+    metric: SpanningTree | Graph, nodes: np.ndarray
+) -> np.ndarray:
+    """Dense distance matrix between the requests' issuing nodes.
+
+    ``metric`` selects the tree metric ``d_T`` (pass a
+    :class:`SpanningTree`) or the graph metric ``d_G`` (pass a
+    :class:`Graph`).
+    """
+    if isinstance(metric, SpanningTree):
+        per_src = tree_node_distances(metric, nodes)
+    elif isinstance(metric, Graph):
+        per_src = graph_node_distances(metric, nodes)
+    else:  # pragma: no cover - defensive
+        raise AnalysisError(f"unsupported metric object {type(metric)!r}")
+    m = len(nodes)
+    out = np.empty((m, m), dtype=np.float64)
+    for i in range(m):
+        out[i, :] = per_src[int(nodes[i])][nodes]
+    if not np.all(np.isfinite(out)):
+        raise AnalysisError("distance matrix has unreachable pairs")
+    return out
+
+
+# ----------------------------------------------------------------------
+# cost matrices
+# ----------------------------------------------------------------------
+def c_a_matrix(D: np.ndarray) -> np.ndarray:
+    """Arrow's per-link latency cost ``c_A`` (eq. 1): just the distances."""
+    return D.copy()
+
+
+def c_t_matrix(D: np.ndarray, times: np.ndarray) -> np.ndarray:
+    """The asymmetric arrow-order cost ``c_T`` (Definition 3.5).
+
+    ``c_T[i, j] = t_j - t_i + D`` when that is non-negative, otherwise
+    ``t_i - t_j + D``.  Always non-negative (Fact 3.6).
+    """
+    dt = times[None, :] - times[:, None]  # t_j - t_i
+    d = dt + D
+    return np.where(d >= 0.0, d, -dt + D)
+
+
+def c_m_matrix(D: np.ndarray, times: np.ndarray) -> np.ndarray:
+    """The Manhattan metric ``c_M`` (Definition 3.14)."""
+    return D + np.abs(times[None, :] - times[:, None])
+
+
+def c_o_matrix(D: np.ndarray, times: np.ndarray) -> np.ndarray:
+    """The offline lower-bound cost (eq. 3): ``max(D, t_i - t_j)``.
+
+    Entry ``[i, j]`` bounds the latency of request ``j`` when queued
+    immediately after request ``i``: the successor cannot be announced
+    before the predecessor exists (``t_i - t_j``) nor faster than
+    information travels (``D[i, j]``).  Pass tree distances for ``c_O``,
+    graph distances for ``c_Opt``.
+    """
+    dt = times[:, None] - times[None, :]  # t_i - t_j
+    return np.maximum(D, dt)
+
+
+# ----------------------------------------------------------------------
+# order evaluation
+# ----------------------------------------------------------------------
+def order_to_indices(order_rids: list[int]) -> list[int]:
+    """Queuing order (rids) -> augmented matrix indices, prepending root."""
+    return [0] + [rid + 1 for rid in order_rids]
+
+
+def indices_to_order(indices: list[int]) -> list[int]:
+    """Augmented matrix indices -> queuing order (rids), dropping root."""
+    if not indices or indices[0] != 0:
+        raise AnalysisError("augmented index path must start at the root (0)")
+    return [i - 1 for i in indices[1:]]
+
+
+def path_cost(indices: list[int], C: np.ndarray) -> float:
+    """Sum of ``C`` over consecutive pairs of an augmented index path."""
+    if len(indices) < 2:
+        return 0.0
+    idx = np.asarray(indices)
+    return float(C[idx[:-1], idx[1:]].sum())

@@ -1,0 +1,268 @@
+"""The optimal offline queuing algorithm: exact solvers and bounds.
+
+The paper's competitor (§3.3) is an omniscient offline algorithm that
+knows every request in advance, orders them to minimise total latency, and
+communicates over the full graph ``G``.  Its cost for placing request
+``r_j`` right after ``r_i`` is at least ``c_Opt(r_i, r_j) = max(d_G(v_i,
+v_j), t_i - t_j)`` (Fact 3.4) — and exactly that value is achievable by an
+algorithm that knows the order up front, so
+
+    cost_Opt = min over permutations π of  Σ c_Opt(r_π(i-1), r_π(i)).
+
+This module provides:
+
+* :func:`held_karp_path` — exact minimum-cost Hamiltonian path under any
+  asymmetric cost matrix (bitmask DP, exponential: use for ≤ ~14 requests);
+* :func:`best_heuristic_path` — NN + or-opt improvement, a certified
+  *upper* bound on ``cost_Opt`` for larger instances;
+* :func:`manhattan_mst_weight` — MST weight under the Manhattan metric,
+  powering the paper's *lower*-bound chain (Lemmas 3.15–3.17):
+
+      cost_Opt  >=  C_O(π_O) / s  >=  C_M(π_O) / (12 s)  >=  MST_M / (12 s);
+
+* :func:`opt_bounds` / :class:`OptBounds` — both sides bundled, used by the
+  competitive-ratio experiments to bracket the true ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.costs import (
+    augmented_nodes_times,
+    c_m_matrix,
+    c_o_matrix,
+    path_cost,
+    request_distance_matrix,
+)
+from repro.analysis.nearest_neighbor import nn_order
+from repro.core.requests import RequestSchedule
+from repro.errors import AnalysisError
+from repro.graphs.graph import Graph
+from repro.spanning.tree import SpanningTree
+
+__all__ = [
+    "held_karp_path",
+    "or_opt_improve",
+    "best_heuristic_path",
+    "manhattan_mst_weight",
+    "OptBounds",
+    "opt_bounds",
+    "HELD_KARP_LIMIT",
+]
+
+#: Largest number of requests (excluding the root) for which the exact
+#: Held–Karp solver is attempted by default (2^m states).
+HELD_KARP_LIMIT = 14
+
+
+def held_karp_path(C: np.ndarray) -> tuple[float, list[int]]:
+    """Exact min-cost Hamiltonian path from index 0 under asymmetric ``C``.
+
+    Bitmask dynamic program over the non-root indices; ``O(2^k k^2)`` time
+    and ``O(2^k k)`` memory for ``k = m - 1``.  Returns the optimal cost
+    and the realising augmented index path (starting with 0).
+    """
+    m = C.shape[0]
+    k = m - 1
+    if k <= 0:
+        return 0.0, [0]
+    if k > 20:  # hard safety: 2^20 states of k floats is already ~170 MB
+        raise AnalysisError(f"held_karp_path: {k} requests is too large")
+    # dp[mask, j] = min cost of a path 0 -> ... -> (j+1) visiting exactly
+    # the request set `mask` (bit j <-> augmented index j+1).  Pull form:
+    # dp[mask, j] = min_i dp[mask ^ (1<<j), i] + C[i+1, j+1].
+    size = 1 << k
+    dp = np.full((size, k), np.inf)
+    parent = np.full((size, k), -1, dtype=np.int32)
+    Csub = C[1:, 1:]  # request-to-request block
+    for j in range(k):
+        dp[1 << j, j] = C[0, j + 1]
+    for mask in range(1, size):
+        if mask & (mask - 1) == 0:
+            continue  # singleton: initialised above
+        bits = mask
+        while bits:
+            j = (bits & -bits).bit_length() - 1
+            bits &= bits - 1
+            prev = mask ^ (1 << j)
+            vals = dp[prev] + Csub[:, j]
+            i = int(np.argmin(vals))
+            dp[mask, j] = vals[i]
+            parent[mask, j] = i
+    full = size - 1
+    end = int(np.argmin(dp[full]))
+    best = float(dp[full, end])
+    # Reconstruct the optimal path backwards through the parent table.
+    path = [end + 1]
+    mask, j = full, end
+    while parent[mask, j] >= 0:
+        pj = int(parent[mask, j])
+        mask ^= 1 << j
+        j = pj
+        path.append(j + 1)
+    path.append(0)
+    path.reverse()
+    return best, path
+
+
+def or_opt_improve(
+    indices: list[int], C: np.ndarray, max_rounds: int = 8
+) -> tuple[float, list[int]]:
+    """Or-opt local search: relocate single elements (asymmetric-safe).
+
+    2-opt segment reversal is invalid under asymmetric costs (reversing a
+    segment changes its internal cost), so we use single-element
+    relocation, which only touches three splice points.  The root (index
+    position 0) never moves.
+    """
+    path = list(indices)
+    m = len(path)
+    if m <= 2:
+        return path_cost(path, C), path
+
+    def splice_gain(i: int, j: int) -> float:
+        # Remove path[i] and re-insert between path[j] and path[j+1]
+        # (positions refer to the path *after* removal when j >= i).
+        a, b, c = path[i - 1], path[i], path[i + 1] if i + 1 < m else None
+        if c is None:
+            removed = C[a, b]
+            broken = 0.0
+        else:
+            removed = C[a, b] + C[b, c]
+            broken = C[a, c]
+        u = path[j]
+        v = path[j + 1] if j + 1 < m else None
+        if v is None:
+            added = C[u, b]
+            old = 0.0
+        else:
+            added = C[u, b] + C[b, v]
+            old = C[u, v]
+        return (removed - broken) - (added - old)
+
+    improved = True
+    rounds = 0
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        for i in range(1, m):
+            best_gain = 1e-12
+            best_j = -1
+            for j in range(0, m):
+                if j in (i - 1, i):
+                    continue
+                g = splice_gain(i, j)
+                if g > best_gain:
+                    best_gain = g
+                    best_j = j
+            if best_j >= 0:
+                b = path.pop(i)
+                jj = best_j if best_j < i else best_j - 1
+                path.insert(jj + 1, b)
+                improved = True
+    return path_cost(path, C), path
+
+
+def best_heuristic_path(C: np.ndarray) -> tuple[float, list[int]]:
+    """Best of {canonical order, NN, NN + or-opt}: an Opt upper bound."""
+    m = C.shape[0]
+    ident = list(range(m))
+    cand: list[tuple[float, list[int]]] = [(path_cost(ident, C), ident)]
+    nn = nn_order(C, start=0)
+    cand.append((nn.total_cost, nn.indices))
+    cand.append(or_opt_improve(nn.indices, C))
+    cand.sort(key=lambda x: x[0])
+    return cand[0]
+
+
+def manhattan_mst_weight(CM: np.ndarray) -> float:
+    """MST weight of the complete request graph under the Manhattan metric.
+
+    Dense Prim in O(m^2) with numpy rows.  Any queuing order is a
+    Hamiltonian path, i.e. a spanning tree of this complete graph, so the
+    MST weight lower-bounds ``C_M(π)`` for *every* order π.
+    """
+    m = CM.shape[0]
+    if m <= 1:
+        return 0.0
+    in_tree = np.zeros(m, dtype=bool)
+    in_tree[0] = True
+    best = CM[0].astype(np.float64).copy()
+    best[0] = np.inf
+    total = 0.0
+    for _ in range(m - 1):
+        masked = np.where(in_tree, np.inf, best)
+        j = int(np.argmin(masked))
+        total += float(masked[j])
+        in_tree[j] = True
+        best = np.minimum(best, CM[j])
+    return total
+
+
+@dataclass(frozen=True, slots=True)
+class OptBounds:
+    """Bracketing of the optimal offline cost for one instance."""
+
+    #: Certified lower bound on cost_Opt (max of the bound family).
+    lower: float
+    #: Certified upper bound (cost of a concrete achievable order).
+    upper: float
+    #: True when `upper` comes from the exact Held–Karp solver, in which
+    #: case lower == upper == cost_Opt.
+    exact: bool
+    #: Individual lower bounds, keyed by name (for diagnostics).
+    parts: dict[str, float]
+
+    def ratio_bracket(self, protocol_cost: float) -> tuple[float, float]:
+        """(lowest, highest) possible competitive ratio for a given cost."""
+        hi = protocol_cost / self.lower if self.lower > 0 else float("inf")
+        lo = protocol_cost / self.upper if self.upper > 0 else float("inf")
+        return lo, hi
+
+
+def opt_bounds(
+    graph: Graph,
+    tree: SpanningTree,
+    schedule: RequestSchedule,
+    stretch: float,
+    *,
+    exact_limit: int = HELD_KARP_LIMIT,
+) -> OptBounds:
+    """Bracket the optimal offline cost of a schedule (see module docs).
+
+    ``stretch`` is the tree's stretch w.r.t. the graph (Definition 3.1);
+    it enters the Manhattan-MST lower bound via Lemma 3.17's chain.
+    """
+    if len(schedule) == 0:
+        return OptBounds(0.0, 0.0, True, {})
+    nodes, times = augmented_nodes_times(schedule, tree.root)
+    DG = request_distance_matrix(graph, nodes)
+    DT = request_distance_matrix(tree, nodes)
+    C_opt = c_o_matrix(DG, times)
+    CM_tree = c_m_matrix(DT, times)
+
+    parts: dict[str, float] = {}
+    # Lemma 3.15/3.16/3.17 chain with tree distances, divided by stretch.
+    parts["mst_manhattan"] = manhattan_mst_weight(CM_tree) / (12.0 * stretch)
+    # Elementary bounds: the furthest request from the root must be reached,
+    # and each request's own best-case latency is its cheapest c_Opt entry.
+    m = DG.shape[0]
+    col_min = np.empty(m - 1)
+    for j in range(1, m):
+        col = np.delete(C_opt[:, j], j)
+        col_min[j - 1] = col.min()
+    parts["per_request_min"] = float(col_min.sum())
+    parts["root_reach"] = float(DG[0].max())
+
+    if len(schedule) <= exact_limit:
+        exact_cost, _ = held_karp_path(C_opt)
+        parts["exact"] = exact_cost
+        return OptBounds(exact_cost, exact_cost, True, parts)
+
+    upper, _ = best_heuristic_path(C_opt)
+    lower = max(parts.values())
+    lower = min(lower, upper)  # numeric safety: keep the bracket ordered
+    return OptBounds(lower, upper, False, parts)

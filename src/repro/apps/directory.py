@@ -1,0 +1,339 @@
+"""Distributed directories: the application of §1 and §5.1.
+
+The paper's motivating application is synchronising access to a single
+mobile object.  Herlihy & Warres (§5.1) compared two directory designs:
+
+* the **arrow directory**: acquisitions are arrow queuing requests; the
+  object travels directly from each holder to its successor once
+  released (one routed transfer message per handoff);
+* the **home-based directory**: a fixed home node tracks the holder;
+  every acquisition goes through the home (request to home, forward to
+  the current holder, transfer from holder to requester — three routed
+  messages per handoff), so the home serialises all control traffic.
+
+Both are implemented here at full message level on the network substrate,
+driven by a closed acquire→use→release loop, and instrumented for the
+§5.1 comparison: total completion time, message counts, and a global
+mutual-exclusion check (the test-suite asserts the holding intervals
+never overlap).
+"""
+
+from __future__ import annotations
+
+import time as _wall
+from dataclasses import dataclass, field
+
+from repro.core.arrow import ArrowNode
+from repro.core.requests import ROOT_RID
+from repro.errors import ProtocolError
+from repro.graphs.graph import Graph
+from repro.net.latency import LatencyModel, UnitLatency
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import ProtocolNode
+from repro.sim.kernel import Simulator
+from repro.spanning.tree import SpanningTree
+
+__all__ = ["DirectoryResult", "arrow_directory", "home_directory"]
+
+
+@dataclass(slots=True)
+class DirectoryResult:
+    """Outcome of one directory run."""
+
+    protocol: str
+    num_procs: int
+    acquisitions_per_proc: int
+    makespan: float = 0.0
+    completions: int = 0
+    messages_sent: int = 0
+    #: (acquire_time, release_time, node) per acquisition, in handoff order.
+    intervals: list[tuple[float, float, int]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def total_acquisitions(self) -> int:
+        """Total acquisitions across all processors."""
+        return self.num_procs * self.acquisitions_per_proc
+
+    def exclusion_holds(self, tol: float = 1e-9) -> bool:
+        """True iff no two holding intervals overlap."""
+        ordered = sorted(self.intervals)
+        return all(
+            r1 <= a2 + tol for (a1, r1, _), (a2, r2, _) in zip(ordered, ordered[1:])
+        )
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean time from handoff start to the next acquisition (proxy)."""
+        if len(self.intervals) < 2:
+            return 0.0
+        ordered = sorted(self.intervals)
+        gaps = [a2 - r1 for (_, r1, _), (a2, _, _) in zip(ordered, ordered[1:])]
+        return sum(gaps) / len(gaps)
+
+
+class _ObjectState:
+    """Shared bookkeeping: who holds the object, who comes next."""
+
+    def __init__(self, result: DirectoryResult, cs_time: float) -> None:
+        self.result = result
+        self.cs_time = cs_time
+        # rid -> (successor_rid, successor_origin), learned at completion.
+        self.successor: dict[int, tuple[int, int]] = {}
+        # rids whose critical section has finished with the object at
+        # `released_at[rid]`, waiting for their successor to be known.
+        self.released_at: dict[int, int] = {}
+
+
+class _ArrowDirectoryNode(ArrowNode):
+    """Arrow node plus object handling for the directory application."""
+
+    __slots__ = ("shared", "driver")
+
+    def __init__(self, on_complete, shared: _ObjectState) -> None:
+        super().__init__(on_complete)
+        self.shared = shared
+        self.driver = None  # set by the runner
+        self.app_handler = self._on_app_message
+
+    def _on_app_message(self, msg: Message) -> None:
+        if msg.kind != "object":
+            raise ProtocolError(f"directory got unexpected message {msg.kind!r}")
+        self._acquire(msg.payload["rid"])
+
+    def _acquire(self, rid: int) -> None:
+        assert self.net is not None
+        sim = self.net.sim
+        acquire = sim.now
+        release = acquire + self.shared.cs_time
+        self.shared.result.intervals.append((acquire, release, self.node_id))
+        self.shared.result.completions += 1
+        sim.call_at(release, self._release, rid)
+
+    def _release(self, rid: int) -> None:
+        """Critical section over: hand off if the successor is known."""
+        assert self.net is not None
+        nxt = self.shared.successor.get(rid)
+        if nxt is None:
+            self.shared.released_at[rid] = self.node_id
+        else:
+            self._hand_off(rid, *nxt)
+        if self.driver is not None:
+            self.driver(self.node_id)
+
+    def _hand_off(self, rid: int, succ_rid: int, succ_origin: int) -> None:
+        assert self.net is not None
+        if succ_origin == self.node_id:
+            # Local successor: the object never leaves this node.
+            self.net.sim.call_in(0.0, self._acquire, succ_rid)
+        else:
+            self.send_routed("object", succ_origin, rid=succ_rid)
+
+    def on_successor_known(self, pred: int, rid: int, origin: int) -> None:
+        """Completion hook: the successor of ``pred`` is ``rid``@``origin``."""
+        self.shared.successor[pred] = (rid, origin)
+        holder = self.shared.released_at.pop(pred, None)
+        if holder is not None:
+            # The object is idle at `holder`; ship it now.
+            assert self.net is not None
+            node = self.net.node(holder)
+            assert isinstance(node, _ArrowDirectoryNode)
+            node._hand_off(pred, rid, origin)
+
+
+def arrow_directory(
+    graph: Graph,
+    tree: SpanningTree,
+    *,
+    acquisitions_per_proc: int,
+    cs_time: float = 0.5,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    service_time: float = 0.0,
+    max_events: int | None = None,
+) -> DirectoryResult:
+    """Run the arrow-based directory under a closed acquire loop."""
+    n = graph.num_nodes
+    result = DirectoryResult("arrow-directory", n, acquisitions_per_proc)
+    shared = _ObjectState(result, cs_time)
+    sim = Simulator(max_events=max_events)
+    net = Network(
+        graph,
+        sim,
+        latency if latency is not None else UnitLatency(),
+        seed=seed,
+        service_time=service_time,
+    )
+
+    nodes: list[_ArrowDirectoryNode] = []
+
+    def on_complete(rid: int, pred: int, node_id: int, when: float, hops: int):
+        nodes[node_id].on_successor_known(pred, rid, _owner[rid])
+
+    nodes.extend(_ArrowDirectoryNode(on_complete, shared) for _ in range(n))
+    net.register_all(nodes)
+    for nd in nodes:
+        nd.init_pointers(tree)
+
+    # The virtual root request holds the object, already released at t=0.
+    shared.released_at[ROOT_RID] = tree.root
+
+    remaining = [acquisitions_per_proc] * n
+    _owner: dict[int, int] = {}
+    counter = [0]
+
+    def issue(proc: int) -> None:
+        if remaining[proc] <= 0:
+            return
+        remaining[proc] -= 1
+        rid = counter[0]
+        counter[0] += 1
+        _owner[rid] = proc
+        nodes[proc].initiate(rid, sim.now)
+
+    def driver(proc: int) -> None:
+        result.makespan = sim.now
+        issue(proc)
+
+    for nd in nodes:
+        nd.driver = driver
+    for p in range(n):
+        sim.call_at(0.0, issue, p)
+
+    t0 = _wall.perf_counter()
+    sim.run()
+    result.wall_seconds = _wall.perf_counter() - t0
+    result.messages_sent = net.stats.messages_sent
+    if result.completions != result.total_acquisitions:
+        raise ProtocolError(
+            f"arrow directory completed {result.completions} of "
+            f"{result.total_acquisitions} acquisitions"
+        )
+    return result
+
+
+class _HomeDirectoryNode(ProtocolNode):
+    """Home-based directory node (fixed home tracks the holder)."""
+
+    __slots__ = ("home", "result", "cs_time", "driver", "holder", "busy", "queue")
+
+    def __init__(self, home: int, result: DirectoryResult, cs_time: float) -> None:
+        super().__init__()
+        self.home = home
+        self.result = result
+        self.cs_time = cs_time
+        self.driver = None
+        # Home state: current holder and whether a transfer is in flight;
+        # pending requester queue (FIFO at the home).
+        self.holder = home
+        self.busy = False
+        self.queue: list[int] = []
+
+    def initiate(self, proc_unused: int, when_unused: float) -> None:
+        """Request the object: one routed message to the home."""
+        self.send_routed("dreq", self.home, origin=self.node_id)
+
+    def on_message(self, msg: Message) -> None:
+        assert self.net is not None
+        if msg.kind == "dreq":
+            # Home: forward to the holder, or queue if a transfer is live.
+            if self.node_id != self.home:
+                raise ProtocolError("dreq at non-home node")
+            self.queue.append(msg.payload["origin"])
+            self._pump()
+        elif msg.kind == "dfwd":
+            # Current holder: ship the object to the requester when free.
+            self.send_routed("dobj", msg.payload["to"])
+        elif msg.kind == "dobj":
+            self._acquire()
+        elif msg.kind == "ddone":
+            # Home learns the transfer finished; next request may proceed.
+            if self.node_id != self.home:
+                raise ProtocolError("ddone at non-home node")
+            self.holder = msg.payload["holder"]
+            self.busy = False
+            self._pump()
+        else:
+            raise ProtocolError(f"unexpected message {msg.kind!r}")
+
+    def _pump(self) -> None:
+        assert self.net is not None
+        if self.busy or not self.queue:
+            return
+        requester = self.queue.pop(0)
+        self.busy = True
+        if self.holder == requester:
+            # Object already local to the requester.
+            self.net.node(requester)._acquire()  # type: ignore[attr-defined]
+        else:
+            self.send_routed("dfwd", self.holder, to=requester)
+
+    def _acquire(self) -> None:
+        assert self.net is not None
+        sim = self.net.sim
+        acquire = sim.now
+        release = acquire + self.cs_time
+        self.result.intervals.append((acquire, release, self.node_id))
+        self.result.completions += 1
+        sim.call_at(release, self._release)
+
+    def _release(self) -> None:
+        assert self.net is not None
+        self.send_routed("ddone", self.home, holder=self.node_id)
+        if self.driver is not None:
+            self.driver(self.node_id)
+
+
+def home_directory(
+    graph: Graph,
+    home: int,
+    *,
+    acquisitions_per_proc: int,
+    cs_time: float = 0.5,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    service_time: float = 0.0,
+    max_events: int | None = None,
+) -> DirectoryResult:
+    """Run the home-based directory under the same closed acquire loop."""
+    n = graph.num_nodes
+    result = DirectoryResult("home-directory", n, acquisitions_per_proc)
+    sim = Simulator(max_events=max_events)
+    net = Network(
+        graph,
+        sim,
+        latency if latency is not None else UnitLatency(),
+        seed=seed,
+        service_time=service_time,
+    )
+    nodes = [_HomeDirectoryNode(home, result, cs_time) for _ in range(n)]
+    net.register_all(nodes)
+
+    remaining = [acquisitions_per_proc] * n
+
+    def issue(proc: int) -> None:
+        if remaining[proc] <= 0:
+            return
+        remaining[proc] -= 1
+        nodes[proc].initiate(proc, sim.now)
+
+    def driver(proc: int) -> None:
+        result.makespan = sim.now
+        issue(proc)
+
+    for nd in nodes:
+        nd.driver = driver
+    for p in range(n):
+        sim.call_at(0.0, issue, p)
+
+    t0 = _wall.perf_counter()
+    sim.run()
+    result.wall_seconds = _wall.perf_counter() - t0
+    result.messages_sent = net.stats.messages_sent
+    if result.completions != result.total_acquisitions:
+        raise ProtocolError(
+            f"home directory completed {result.completions} of "
+            f"{result.total_acquisitions} acquisitions"
+        )
+    return result

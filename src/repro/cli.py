@@ -1,0 +1,196 @@
+"""Command-line interface: regenerate any paper figure from the terminal.
+
+Examples::
+
+    repro-arrow fig10 --procs 2,4,8,16,32 --requests-per-proc 200
+    repro-arrow fig11
+    repro-arrow fig9 --variant layered -D 64 -k 4
+    repro-arrow thm319 --diameters 8,16,32,64
+    repro-arrow thm41
+    repro-arrow ablations
+    repro-arrow all --json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import (
+    format_kv,
+    run_directory_comparison,
+    run_one_shot_analysis,
+    format_table,
+    plot,
+    run_async_comparison,
+    run_competitive_sweep,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_protocol_ablation,
+    run_sequential_experiment,
+    run_service_time_ablation,
+    run_theorem41_sweep,
+    run_theorem42_sweep,
+    run_tree_ablation,
+)
+
+__all__ = ["main"]
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def _emit(results, args) -> None:
+    docs = []
+    for r in results:
+        print(format_table(r))
+        print()
+        print(plot(r))
+        print()
+        docs.append(json.loads(r.to_json()))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(docs, fh, indent=2)
+        print(f"wrote {args.json}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-arrow`` console script."""
+    top = argparse.ArgumentParser(
+        prog="repro-arrow",
+        description="Reproduce the arrow-protocol paper's figures and theorems",
+    )
+    top.add_argument("--json", help="also write results to this JSON file")
+    sub = top.add_subparsers(dest="cmd", required=True)
+
+    p10 = sub.add_parser("fig10", help="arrow vs centralized closed-loop latency")
+    p10.add_argument("--procs", type=_int_list, default=None)
+    p10.add_argument("--requests-per-proc", type=int, default=300)
+    p10.add_argument("--service-time", type=float, default=0.1)
+    p10.add_argument("--think-time", type=float, default=0.1)
+    p10.add_argument("--seed", type=int, default=0)
+
+    p11 = sub.add_parser("fig11", help="arrow hops per operation")
+    p11.add_argument("--procs", type=_int_list, default=None)
+    p11.add_argument("--requests-per-proc", type=int, default=300)
+    p11.add_argument("--seed", type=int, default=0)
+
+    p9 = sub.add_parser("fig9", help="lower-bound instance picture + costs")
+    p9.add_argument("-D", type=int, default=64)
+    p9.add_argument("-k", type=int, default=4)
+    p9.add_argument("--variant", choices=["literal", "layered"], default="layered")
+
+    p319 = sub.add_parser("thm319", help="competitive ratio sweep (sync)")
+    p319.add_argument("--diameters", type=_int_list, default=None)
+    p319.add_argument("--requests", type=int, default=60)
+
+    p321 = sub.add_parser("thm321", help="asynchronous comparison")
+    p321.add_argument("--diameters", type=_int_list, default=None)
+    p321.add_argument("--requests", type=int, default=60)
+
+    sub.add_parser("thm41", help="lower-bound ratio growth sweep")
+    p42 = sub.add_parser("thm42", help="lower bound vs stretch")
+    p42.add_argument("--stretches", type=_int_list, default=None)
+
+    pdir = sub.add_parser("directory", help="arrow vs home-based directory (5.1)")
+    pdir.add_argument("--procs", type=_int_list, default=None)
+    pdir.add_argument("--acquisitions-per-proc", type=int, default=50)
+
+    sub.add_parser("oneshot", help="one-shot concurrent case ([10])")
+    sub.add_parser("sequential", help="sequential-regime baseline checks")
+    sub.add_parser("ablations", help="tree/protocol/service-time ablations")
+    sub.add_parser("all", help="run every experiment at default scale")
+
+    args = top.parse_args(argv)
+
+    if args.cmd == "fig10":
+        _emit(
+            [
+                run_fig10(
+                    args.procs,
+                    requests_per_proc=args.requests_per_proc,
+                    service_time=args.service_time,
+                    think_time=args.think_time,
+                    seed=args.seed,
+                )
+            ],
+            args,
+        )
+    elif args.cmd == "fig11":
+        _emit(
+            [run_fig11(args.procs, requests_per_proc=args.requests_per_proc, seed=args.seed)],
+            args,
+        )
+    elif args.cmd == "fig9":
+        rep = run_fig9(args.D, args.k, variant=args.variant)
+        print(rep.picture)
+        print()
+        print(
+            format_kv(
+                {
+                    "variant": rep.variant,
+                    "D": rep.D,
+                    "k": rep.k,
+                    "requests": rep.num_requests,
+                    "arrow cost": rep.arrow_cost,
+                    "sweep target (k sweeps)": rep.sweep_target,
+                    "opt upper bound": rep.opt_upper,
+                    "opt lower bound": rep.opt_lower,
+                    "comb Manhattan weight": rep.comb_weight,
+                    "measured ratio": round(rep.ratio, 3),
+                },
+                title="fig9",
+            )
+        )
+    elif args.cmd == "thm319":
+        _emit([run_competitive_sweep(args.diameters, requests=args.requests)], args)
+    elif args.cmd == "thm321":
+        _emit([run_async_comparison(args.diameters, requests=args.requests)], args)
+    elif args.cmd == "thm41":
+        _emit([run_theorem41_sweep()], args)
+    elif args.cmd == "thm42":
+        _emit([run_theorem42_sweep(args.stretches)], args)
+    elif args.cmd == "directory":
+        _emit(
+            [
+                run_directory_comparison(
+                    args.procs, acquisitions_per_proc=args.acquisitions_per_proc
+                )
+            ],
+            args,
+        )
+    elif args.cmd == "oneshot":
+        _emit([run_one_shot_analysis()], args)
+    elif args.cmd == "sequential":
+        _emit([run_sequential_experiment()], args)
+    elif args.cmd == "ablations":
+        _emit(
+            [run_tree_ablation(), run_protocol_ablation(), run_service_time_ablation()],
+            args,
+        )
+    elif args.cmd == "all":
+        _emit(
+            [
+                run_fig10(),
+                run_fig11(),
+                run_directory_comparison(),
+                run_one_shot_analysis(),
+                run_competitive_sweep(),
+                run_async_comparison(),
+                run_theorem41_sweep(),
+                run_theorem42_sweep(),
+                run_sequential_experiment(),
+                run_tree_ablation(),
+                run_protocol_ablation(),
+                run_service_time_ablation(),
+            ],
+            args,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The queuing protocols: arrow (the paper's subject) and its baselines."""
+
+from repro.core.adaptive import AdaptivePointerNode, run_adaptive
+from repro.core.arrow import ArrowNode, make_arrow_nodes
+from repro.core.centralized import CentralizedNode
+from repro.core.queueing import CompletionRecord, RunResult, verify_total_order
+from repro.core.requests import NO_RID, ROOT_RID, Request, RequestSchedule
+from repro.core.runner import run_arrow, run_centralized
+from repro.core.stabilize import (
+    EdgeViolation,
+    count_sinks,
+    find_violations,
+    is_legal_configuration,
+    sink_reached_from,
+    stabilize,
+)
+
+__all__ = [
+    "AdaptivePointerNode",
+    "run_adaptive",
+    "ArrowNode",
+    "make_arrow_nodes",
+    "CentralizedNode",
+    "CompletionRecord",
+    "RunResult",
+    "verify_total_order",
+    "NO_RID",
+    "ROOT_RID",
+    "Request",
+    "RequestSchedule",
+    "run_arrow",
+    "run_centralized",
+    "EdgeViolation",
+    "count_sinks",
+    "find_violations",
+    "is_legal_configuration",
+    "sink_reached_from",
+    "stabilize",
+]

@@ -1,0 +1,152 @@
+"""The centralized queuing baseline of Section 5.
+
+"A globally known central node always stored the current tail of the total
+order.  Every queuing request was completed using only two messages, one to
+the central node, and one back."
+
+Concretely: a requester sends ``creq`` to the centre (routed over ``G``);
+the centre swaps its tail record and informs the *previous* tail's issuer
+of its successor (``cinform``), which is the completion event of
+Definition 3.2.  With ``notify_origin`` the centre also acknowledges the
+requester (``queue_reply``) so closed-loop drivers can issue the next
+request — the "one back" message of the paper's measurement loop.
+
+The centre handles every request in the system, so with a positive
+per-node service time it saturates as the system grows — the linear
+slowdown of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.arrow import CompletionCallback
+from repro.core.requests import ROOT_RID
+from repro.errors import ProtocolError
+from repro.net.message import Message
+from repro.net.node import ProtocolNode
+
+__all__ = ["CentralizedNode"]
+
+
+class CentralizedNode(ProtocolNode):
+    """Per-node state machine of the centralized protocol."""
+
+    __slots__ = (
+        "center",
+        "_on_complete",
+        "_notify_origin",
+        "_reply_mode",
+        "tail_rid",
+        "tail_node",
+        "is_center",
+        "app_handler",
+    )
+
+    def __init__(
+        self,
+        center: int,
+        on_complete: CompletionCallback,
+        *,
+        notify_origin: bool = False,
+        reply_mode: bool = False,
+    ) -> None:
+        """Create a node of the centralized protocol.
+
+        With ``reply_mode`` the protocol uses exactly the paper's two
+        messages per request — ``creq`` to the centre and one reply back to
+        the requester carrying the predecessor's identity — and the
+        completion is recorded at the centre (which maintains the whole
+        queue).  Without it, the centre informs the predecessor's issuer
+        directly (``cinform``), matching Definition 3.2's completion event
+        at the cost of one extra message when ``notify_origin`` is also on.
+        """
+        super().__init__()
+        self.center = center
+        self._on_complete = on_complete
+        self._notify_origin = notify_origin
+        self._reply_mode = reply_mode
+        self.is_center = False
+        # Tail record, meaningful at the centre only.
+        self.tail_rid = ROOT_RID
+        self.tail_node = center
+        #: Optional hook for application messages (``queue_reply`` etc.).
+        self.app_handler: Callable[[Message], None] | None = None
+
+    def init_center(self) -> None:
+        """Mark this node as the centre holding the initial (root) tail."""
+        self.is_center = True
+        self.tail_rid = ROOT_RID
+        self.tail_node = self.node_id
+
+    # ------------------------------------------------------------------
+    def initiate(self, rid: int, origin_time: float) -> None:
+        """Issue a request: one routed message to the centre.
+
+        The centre itself skips the first leg and enqueues locally.
+        """
+        assert self.net is not None
+        if self.node_id == self.center:
+            self._enqueue_at_center(rid, self.node_id, hops=0)
+        else:
+            self.send_routed("creq", self.center, rid=rid, origin=self.node_id)
+
+    def on_message(self, msg: Message) -> None:
+        """Centre: swap tail and inform predecessor. Others: completions."""
+        assert self.net is not None
+        if msg.kind == "creq":
+            if not self.is_center:
+                raise ProtocolError(
+                    f"creq delivered to non-centre node {self.node_id}"
+                )
+            self._enqueue_at_center(
+                msg.payload["rid"], msg.payload["origin"], hops=msg.hops
+            )
+        elif msg.kind == "cinform":
+            # This node issued the predecessor; it now knows the successor.
+            self._on_complete(
+                msg.payload["rid"],
+                msg.payload["predecessor"],
+                self.node_id,
+                self.net.sim.now,
+                msg.payload["hops"] + msg.hops,
+            )
+            if self._notify_origin:
+                self.send_routed(
+                    "queue_reply",
+                    msg.payload["origin"],
+                    rid=msg.payload["rid"],
+                    predecessor=msg.payload["predecessor"],
+                )
+        else:
+            if self.app_handler is not None:
+                self.app_handler(msg)
+                return
+            if msg.kind == "queue_reply":
+                return  # acknowledgement with no consumer: drop silently
+            raise ProtocolError(f"unexpected message {msg.kind!r}")
+
+    # ------------------------------------------------------------------
+    def _enqueue_at_center(self, rid: int, origin: int, hops: int) -> None:
+        """Atomically extend the queue at the centre and notify."""
+        assert self.net is not None
+        pred_rid, pred_node = self.tail_rid, self.tail_node
+        self.tail_rid, self.tail_node = rid, origin
+        if self._reply_mode:
+            # Two-message discipline (§5): record completion at the centre
+            # and acknowledge the requester with its predecessor's identity.
+            self._on_complete(rid, pred_rid, self.node_id, self.net.sim.now, hops)
+            if self._notify_origin:
+                self.send_routed(
+                    "queue_reply", origin, rid=rid, predecessor=pred_rid
+                )
+            return
+        # Inform the predecessor's issuer of its successor (completion).
+        self.send_routed(
+            "cinform",
+            pred_node,
+            rid=rid,
+            predecessor=pred_rid,
+            origin=origin,
+            hops=hops,
+        )

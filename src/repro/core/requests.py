@@ -1,0 +1,122 @@
+"""Queuing requests and request schedules.
+
+Following §3.1 of the paper, a queuing request is an ordered pair
+``(v, t)``: the node where it is issued and the issue time.  The requests of
+a schedule are canonically indexed in non-decreasing time order (ties broken
+arbitrarily but deterministically — the index is "just a convenient way for
+indexing", never used by the algorithm).
+
+The **virtual root request** ``r_0 = (root, 0)`` represents the initial
+queue tail held by the root; it carries the reserved id
+:data:`ROOT_RID` and is the start of every queuing order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ScheduleError
+
+__all__ = ["ROOT_RID", "NO_RID", "Request", "RequestSchedule"]
+
+#: Reserved id of the virtual root request (start of the queue).
+ROOT_RID = -1
+#: Reserved id meaning "no request" (the paper's ⊥ for ``id(v)``).
+NO_RID = -2
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One queuing request ``(v, t)`` with its canonical id.
+
+    ``rid`` is the request's index in its schedule's canonical order
+    (0-based); the virtual root request uses :data:`ROOT_RID` instead.
+    """
+
+    node: int
+    time: float
+    rid: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ScheduleError(f"request time must be >= 0, got {self.time}")
+
+
+class RequestSchedule:
+    """An immutable, canonically ordered set of queuing requests."""
+
+    __slots__ = ("_requests", "_by_rid")
+
+    def __init__(self, pairs: Iterable[tuple[int, float]]) -> None:
+        """Build from ``(node, time)`` pairs.
+
+        Requests are sorted by ``(time, insertion order)`` — the paper's
+        non-decreasing-time canonical indexing — and assigned ids
+        ``0..len-1`` in that order.
+        """
+        indexed = [(float(t), i, int(v)) for i, (v, t) in enumerate(pairs)]
+        indexed.sort(key=lambda x: (x[0], x[1]))
+        self._requests: tuple[Request, ...] = tuple(
+            Request(node=v, time=t, rid=rid) for rid, (t, _, v) in enumerate(indexed)
+        )
+        self._by_rid = {r.rid: r for r in self._requests}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __getitem__(self, rid: int) -> Request:
+        return self._requests[rid]
+
+    def by_rid(self, rid: int) -> Request:
+        """Request with the given canonical id."""
+        try:
+            return self._by_rid[rid]
+        except KeyError:
+            raise ScheduleError(f"no request with rid {rid}") from None
+
+    @property
+    def nodes(self) -> list[int]:
+        """Issuing node per request, in canonical order."""
+        return [r.node for r in self._requests]
+
+    @property
+    def times(self) -> list[float]:
+        """Issue time per request, in canonical order."""
+        return [r.time for r in self._requests]
+
+    def max_time(self) -> float:
+        """Largest issue time ``t_|R|`` (0 for an empty schedule)."""
+        return self._requests[-1].time if self._requests else 0.0
+
+    def validate_nodes(self, num_nodes: int) -> None:
+        """Raise :class:`ScheduleError` if any request names a bad node."""
+        for r in self._requests:
+            if not 0 <= r.node < num_nodes:
+                raise ScheduleError(
+                    f"request {r.rid} at node {r.node} outside [0, {num_nodes})"
+                )
+
+    def shifted(self, rids: Sequence[int], delta: float) -> "RequestSchedule":
+        """New schedule with the given requests' times shifted by ``delta``.
+
+        Used by the Lemma 3.11 transformation.  Shifting must keep all
+        times non-negative.
+        """
+        rid_set = set(rids)
+        pairs = [
+            (r.node, r.time + delta if r.rid in rid_set else r.time)
+            for r in self._requests
+        ]
+        return RequestSchedule(pairs)
+
+    def restricted_to_times(self, lo: float, hi: float) -> list[Request]:
+        """Requests with issue time in ``[lo, hi]`` (canonical order)."""
+        return [r for r in self._requests if lo <= r.time <= hi]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RequestSchedule(len={len(self)}, span=[0, {self.max_time()}])"

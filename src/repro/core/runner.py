@@ -1,0 +1,145 @@
+"""Protocol runners: execute a request schedule and collect results.
+
+The runners build the network, install protocol nodes, schedule every
+request's initiation at its issue time, run the simulation to completion
+and return a :class:`repro.core.queueing.RunResult`.
+
+``run_arrow`` is the message-level ground truth for everything in this
+repository; the analysis layer's fast nearest-neighbour executor
+(:mod:`repro.analysis.nearest_neighbor`) must agree with it on tie-free
+instances — an invariant the integration tests enforce.
+"""
+
+from __future__ import annotations
+
+import time as _wall
+
+from repro.core.arrow import ArrowNode
+from repro.core.centralized import CentralizedNode
+from repro.core.queueing import CompletionRecord, RunResult
+from repro.core.requests import RequestSchedule
+from repro.errors import ProtocolError
+from repro.graphs.graph import Graph
+from repro.graphs.validation import require_spanning_subgraph
+from repro.net.latency import LatencyModel, UnitLatency
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+from repro.spanning.tree import SpanningTree
+
+__all__ = ["run_arrow", "run_centralized"]
+
+
+def run_arrow(
+    graph: Graph,
+    tree: SpanningTree,
+    schedule: RequestSchedule,
+    *,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    service_time: float = 0.0,
+    notify_origin: bool = False,
+    tracer: Tracer | None = None,
+    max_events: int | None = None,
+) -> RunResult:
+    """Run the arrow protocol on one schedule; return the results.
+
+    Parameters mirror the paper's model knobs: ``latency`` selects
+    synchronous (:class:`UnitLatency`, the default) or asynchronous
+    behaviour; ``service_time`` adds per-node sequential message handling
+    (0 = the §3.1 analysis model); ``notify_origin`` adds the
+    application-level acknowledgement used by closed-loop workloads.
+    """
+    schedule.validate_nodes(graph.num_nodes)
+    require_spanning_subgraph(graph, [(u, v) for u, v, _ in tree.edges()])
+    sim = Simulator(max_events=max_events)
+    net = Network(
+        graph,
+        sim,
+        latency if latency is not None else UnitLatency(),
+        seed=seed,
+        service_time=service_time,
+        tracer=tracer,
+    )
+    result = RunResult(schedule)
+
+    def on_complete(rid: int, pred: int, node: int, when: float, hops: int) -> None:
+        result.record(CompletionRecord(rid, pred, node, when, hops))
+
+    nodes = [
+        ArrowNode(on_complete, notify_origin=notify_origin)
+        for _ in range(graph.num_nodes)
+    ]
+    net.register_all(nodes)  # attach assigns node ids
+    for nd in nodes:
+        nd.init_pointers(tree)
+
+    for req in schedule:
+        node = nodes[req.node]
+        sim.call_at(req.time, node.initiate, req.rid, req.time)
+
+    t0 = _wall.perf_counter()
+    result.makespan = sim.run()
+    result.wall_seconds = _wall.perf_counter() - t0
+    result.network_stats = net.stats.as_dict()
+
+    if len(result.completions) != len(schedule):
+        raise ProtocolError(
+            f"arrow run completed {len(result.completions)} of "
+            f"{len(schedule)} requests"
+        )
+    return result
+
+
+def run_centralized(
+    graph: Graph,
+    center: int,
+    schedule: RequestSchedule,
+    *,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    service_time: float = 0.0,
+    notify_origin: bool = False,
+    reply_mode: bool = False,
+    tracer: Tracer | None = None,
+    max_events: int | None = None,
+) -> RunResult:
+    """Run the §5 centralized baseline; same result interface as arrow."""
+    schedule.validate_nodes(graph.num_nodes)
+    sim = Simulator(max_events=max_events)
+    net = Network(
+        graph,
+        sim,
+        latency if latency is not None else UnitLatency(),
+        seed=seed,
+        service_time=service_time,
+        tracer=tracer,
+    )
+    result = RunResult(schedule)
+
+    def on_complete(rid: int, pred: int, node: int, when: float, hops: int) -> None:
+        result.record(CompletionRecord(rid, pred, node, when, hops))
+
+    nodes = [
+        CentralizedNode(
+            center, on_complete, notify_origin=notify_origin, reply_mode=reply_mode
+        )
+        for _ in range(graph.num_nodes)
+    ]
+    net.register_all(nodes)
+    nodes[center].init_center()
+
+    for req in schedule:
+        sim.call_at(req.time, nodes[req.node].initiate, req.rid, req.time)
+
+    t0 = _wall.perf_counter()
+    result.makespan = sim.run()
+    result.wall_seconds = _wall.perf_counter() - t0
+    result.network_stats = net.stats.as_dict()
+
+    if len(result.completions) != len(schedule):
+        raise ProtocolError(
+            f"centralized run completed {len(result.completions)} of "
+            f"{len(schedule)} requests"
+        )
+    return result

@@ -1,0 +1,139 @@
+"""Self-stabilisation of arrow link states (extension, after [9]).
+
+Herlihy & Tirthapura showed the arrow protocol can be made self-stabilising
+with *local checking and correction*.  The key observation: in a quiescent
+state (no messages in flight), a link configuration is legal — following
+the pointers from any node reaches a unique sink — **iff every tree edge is
+crossed by exactly one pointer**:
+
+* an edge crossed by both endpoints' pointers is a 2-cycle (messages would
+  bounce forever);
+* an edge crossed by neither is abandoned (two separate "sink regions",
+  i.e. multiple queue tails).
+
+Both conditions are checkable by the edge's two endpoints alone, which is
+what makes the protocol locally checkable.  This module implements the
+checker and a one-pass top-down correction: processing nodes in BFS order
+(parents before children), each non-root node repairs the edge to its
+parent by adjusting only its own pointer.  Because a node's pointer is
+finalised exactly when the node is processed and each edge is examined at
+its child endpoint after its parent's pointer is final, a single pass
+restores legality on every edge — the property-based tests corrupt
+configurations arbitrarily and verify convergence.
+
+Scope note: as in [9], correction applies to quiescent configurations;
+in-flight message recovery requires the full protocol's message
+re-stamping, which is outside this reproduction's scope (documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.arrow import ArrowNode
+from repro.spanning.tree import SpanningTree
+
+__all__ = [
+    "EdgeViolation",
+    "find_violations",
+    "is_legal_configuration",
+    "count_sinks",
+    "sink_reached_from",
+    "stabilize",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeViolation:
+    """A tree edge whose pointer crossing count is not exactly one.
+
+    ``kind`` is ``"double"`` (both endpoints point at each other) or
+    ``"none"`` (neither does).
+    """
+
+    child: int
+    parent: int
+    kind: str
+
+
+def _crossings(nodes: list[ArrowNode], u: int, p: int) -> int:
+    return int(nodes[u].link == p) + int(nodes[p].link == u)
+
+
+def find_violations(nodes: list[ArrowNode], tree: SpanningTree) -> list[EdgeViolation]:
+    """All illegal edges in the current (quiescent) configuration."""
+    out: list[EdgeViolation] = []
+    for v in range(tree.num_nodes):
+        if v == tree.root:
+            continue
+        p = tree.parent[v]
+        c = _crossings(nodes, v, p)
+        if c == 2:
+            out.append(EdgeViolation(v, p, "double"))
+        elif c == 0:
+            out.append(EdgeViolation(v, p, "none"))
+    return out
+
+
+def is_legal_configuration(nodes: list[ArrowNode], tree: SpanningTree) -> bool:
+    """True iff every tree edge is crossed by exactly one pointer."""
+    return not find_violations(nodes, tree)
+
+
+def count_sinks(nodes: list[ArrowNode]) -> int:
+    """Number of nodes whose pointer targets themselves."""
+    return sum(1 for nd in nodes if nd.link == nd.node_id)
+
+
+def sink_reached_from(nodes: list[ArrowNode], start: int, limit: int) -> int | None:
+    """Follow pointers from ``start``; the sink reached, or None on a cycle.
+
+    ``limit`` bounds the walk (use the node count: a legal walk never
+    revisits a node).
+    """
+    cur = start
+    for _ in range(limit + 1):
+        nxt = nodes[cur].link
+        if nxt == cur:
+            return cur
+        cur = nxt
+    return None
+
+
+def stabilize(nodes: list[ArrowNode], tree: SpanningTree) -> int:
+    """Repair an arbitrary quiescent configuration in one BFS pass.
+
+    Processing parents before children, each non-root node ``v`` looks at
+    the edge to its parent ``p`` (whose pointer is already final):
+
+    * crossed twice (``link(v) == p`` and ``link(p) == v``): ``v`` breaks
+      the 2-cycle by becoming a sink (``link(v) <- v``); the edge keeps the
+      parent's crossing;
+    * crossed zero times: ``v`` re-points up (``link(v) <- p``);
+    * crossed once: nothing to do.
+
+    Returns the number of pointer corrections applied.  Afterwards the
+    configuration is legal: exactly one sink, every pointer chain reaches
+    it (asserted by the tests).
+    """
+    fixes = 0
+    order: deque[int] = deque([tree.root])
+    bfs: list[int] = []
+    while order:
+        u = order.popleft()
+        bfs.append(u)
+        order.extend(tree.children[u])
+    for v in bfs:
+        if v == tree.root:
+            continue
+        p = tree.parent[v]
+        c = _crossings(nodes, v, p)
+        if c == 2:
+            nodes[v].link = v
+            fixes += 1
+        elif c == 0:
+            nodes[v].link = p
+            fixes += 1
+    return fixes

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "NetworkError",
+    "GraphError",
+    "TreeError",
+    "ProtocolError",
+    "ScheduleError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class NetworkError(ReproError):
+    """Raised for invalid network configurations or message routing."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs (unknown nodes, disconnected inputs...)."""
+
+
+class TreeError(GraphError):
+    """Raised for structures that are not valid (spanning) trees."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a queuing protocol reaches an inconsistent state."""
+
+
+class ScheduleError(ReproError):
+    """Raised for invalid request schedules (negative times, bad nodes...)."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the analysis machinery (cost measures, TSP solvers...)."""

@@ -1,0 +1,47 @@
+"""Experiment harness: one module per paper figure/theorem (see DESIGN.md)."""
+
+from repro.experiments.ablations import (
+    run_protocol_ablation,
+    run_service_time_ablation,
+    run_tree_ablation,
+)
+from repro.experiments.ascii_plot import plot
+from repro.experiments.competitive import run_async_comparison, run_competitive_sweep
+from repro.experiments.directory_comparison import run_directory_comparison
+from repro.experiments.fig9 import Fig9Report, render_instance, run_fig9
+from repro.experiments.fig10 import DEFAULT_PROC_COUNTS, run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.lowerbound_sweep import (
+    run_theorem41_sweep,
+    run_theorem42_sweep,
+    worst_case_arrow_cost,
+)
+from repro.experiments.one_shot_analysis import run_one_shot_analysis
+from repro.experiments.records import ExperimentResult, Series
+from repro.experiments.sequential import run_sequential_experiment
+from repro.experiments.tables import format_kv, format_table
+
+__all__ = [
+    "run_protocol_ablation",
+    "run_service_time_ablation",
+    "run_tree_ablation",
+    "plot",
+    "run_async_comparison",
+    "run_competitive_sweep",
+    "run_directory_comparison",
+    "run_one_shot_analysis",
+    "Fig9Report",
+    "render_instance",
+    "run_fig9",
+    "DEFAULT_PROC_COUNTS",
+    "run_fig10",
+    "run_fig11",
+    "run_theorem41_sweep",
+    "run_theorem42_sweep",
+    "worst_case_arrow_cost",
+    "ExperimentResult",
+    "Series",
+    "run_sequential_experiment",
+    "format_kv",
+    "format_table",
+]

@@ -1,0 +1,46 @@
+"""Minimal ASCII scatter/line plots for terminal output.
+
+Good enough to eyeball the paper's figure shapes (flat vs linear growth in
+Fig. 10, sub-1 hop counts in Fig. 11) straight from the CLI or the bench
+logs, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.records import ExperimentResult
+
+__all__ = ["plot"]
+
+_MARKS = "ox+*#@%"
+
+
+def plot(
+    result: ExperimentResult, *, width: int = 64, height: int = 16
+) -> str:
+    """Render all series of a result into one character grid."""
+    xs_all = [x for s in result.series for x in s.xs]
+    ys_all = [y for s in result.series for y in s.ys]
+    if not xs_all:
+        return f"(empty plot: {result.title})"
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(result.series):
+        mark = _MARKS[si % len(_MARKS)]
+        for x, y in zip(s.xs, s.ys):
+            c = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            r = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - r][c] = mark
+    lines = [f"{result.title}  (y: {y_lo:.3g}..{y_hi:.3g})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {result.xlabel} {x_lo:.3g}..{x_hi:.3g}")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.name}" for i, s in enumerate(result.series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

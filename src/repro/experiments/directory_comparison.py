@@ -1,0 +1,78 @@
+"""§5.1 related experiment: arrow directory vs home-based directory.
+
+Herlihy & Warres compared the two directory designs over 2–16 processing
+elements and observed the arrow directory outperforming the home-based
+one across the range (their measurements include the object-transfer
+cost, unlike the pure queuing measurements of Fig. 10).  This experiment
+reproduces that comparison on the simulated testbed.
+"""
+
+from __future__ import annotations
+
+from repro.apps.directory import arrow_directory, home_directory
+from repro.experiments.records import ExperimentResult, Series
+from repro.graphs.generators import complete_graph
+from repro.spanning.construct import balanced_binary_overlay
+
+__all__ = ["run_directory_comparison"]
+
+
+def run_directory_comparison(
+    proc_counts: list[int] | None = None,
+    *,
+    acquisitions_per_proc: int = 50,
+    cs_time: float = 0.5,
+    service_time: float = 0.1,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Total completion time of both directories vs system size (2-16 PEs)."""
+    procs = proc_counts if proc_counts is not None else [2, 4, 8, 12, 16]
+    arrow_t: list[float] = []
+    home_t: list[float] = []
+    arrow_msgs: list[float] = []
+    home_msgs: list[float] = []
+    for n in procs:
+        g = complete_graph(n)
+        tree = balanced_binary_overlay(g, root=0)
+        a = arrow_directory(
+            g,
+            tree,
+            acquisitions_per_proc=acquisitions_per_proc,
+            cs_time=cs_time,
+            service_time=service_time,
+            seed=seed,
+        )
+        h = home_directory(
+            g,
+            0,
+            acquisitions_per_proc=acquisitions_per_proc,
+            cs_time=cs_time,
+            service_time=service_time,
+            seed=seed,
+        )
+        assert a.exclusion_holds() and h.exclusion_holds()
+        arrow_t.append(a.makespan)
+        home_t.append(h.makespan)
+        arrow_msgs.append(a.messages_sent / a.total_acquisitions)
+        home_msgs.append(h.messages_sent / h.total_acquisitions)
+    xs = [float(p) for p in procs]
+    return ExperimentResult(
+        experiment_id="directory",
+        title="Distributed directory: arrow vs home-based (§5.1)",
+        xlabel="processing elements",
+        series=[
+            Series("arrow directory", xs, arrow_t, "sim time"),
+            Series("home-based directory", xs, home_t, "sim time"),
+            Series("arrow msgs/acq", xs, arrow_msgs),
+            Series("home msgs/acq", xs, home_msgs),
+        ],
+        params={
+            "acquisitions_per_proc": acquisitions_per_proc,
+            "cs_time": cs_time,
+            "service_time": service_time,
+        },
+        notes=[
+            "Herlihy-Warres: arrow directory outperformed the home-based "
+            "directory from 2 to 16 processing elements",
+        ],
+    )

@@ -1,0 +1,65 @@
+"""Figure 11: average interprocessor messages (hops) per arrow operation.
+
+The paper reports fewer than one interprocessor message per queuing
+request — most requests find their predecessor locally or one hop away —
+over the same closed-loop workload as Fig. 10.  This experiment records
+arrow's mean queue-message hop count and the local-find fraction per
+system size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10 import DEFAULT_PROC_COUNTS
+from repro.experiments.records import ExperimentResult, Series
+from repro.graphs.generators import complete_graph
+from repro.spanning.construct import balanced_binary_overlay
+from repro.workloads.closed_loop import closed_loop_arrow
+
+__all__ = ["run_fig11"]
+
+
+def run_fig11(
+    proc_counts: list[int] | None = None,
+    *,
+    requests_per_proc: int = 300,
+    service_time: float = 0.1,
+    think_time: float = 0.1,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run the Figure 11 sweep: hops per operation vs system size."""
+    procs = proc_counts if proc_counts is not None else DEFAULT_PROC_COUNTS
+    mean_hops: list[float] = []
+    local_frac: list[float] = []
+    for n in procs:
+        g = complete_graph(n)
+        tree = balanced_binary_overlay(g, root=0)
+        a = closed_loop_arrow(
+            g,
+            tree,
+            requests_per_proc=requests_per_proc,
+            service_time=service_time,
+            think_time=think_time,
+            seed=seed,
+        )
+        mean_hops.append(a.mean_hops)
+        local_frac.append(a.local_find_fraction)
+    xs = [float(p) for p in procs]
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Arrow: queue-message hops per operation (closed loop)",
+        xlabel="processors",
+        series=[
+            Series("mean hops/op", xs, mean_hops, "hops"),
+            Series("local-find fraction", xs, local_frac, ""),
+        ],
+        params={
+            "requests_per_proc": requests_per_proc,
+            "service_time": service_time,
+            "think_time": think_time,
+            "seed": seed,
+        },
+        notes=[
+            "paper: average below 1 hop/op because many requests find "
+            "their predecessor locally (Fig. 11)",
+        ],
+    )

@@ -1,0 +1,63 @@
+"""The concurrent one-shot case (precursor paper [10], combined in §1).
+
+Herlihy, Tirthapura & Wattenhofer analysed the case where **all requests
+are issued simultaneously**: arrow's cost is within ``s · log |R|`` of
+optimal, with an almost matching lower bound.  With all times equal, the
+cost ``c_T`` collapses to the tree metric ``d_T`` and arrow's order is a
+plain nearest-neighbour TSP path on the requesting nodes from the root —
+so this experiment doubles as a direct check of the NN machinery on a
+pure metric instance.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.competitive import measure_competitive_ratio
+from repro.experiments.records import ExperimentResult, Series
+from repro.graphs.generators import random_geometric_graph
+from repro.sim.rng import spawn_rng
+from repro.spanning.construct import mst_prim
+from repro.spanning.metrics import tree_stretch
+from repro.workloads.schedules import one_shot
+
+__all__ = ["run_one_shot_analysis"]
+
+
+def run_one_shot_analysis(
+    request_counts: list[int] | None = None,
+    *,
+    num_nodes: int = 64,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Measured one-shot ratio vs |R| against the s·log|R| ceiling."""
+    counts = request_counts if request_counts is not None else [4, 8, 16, 32, 64]
+    graph = random_geometric_graph(num_nodes, 0.25, seed=seed)
+    tree = mst_prim(graph, 0)
+    s = tree_stretch(graph, tree).stretch
+    rng = spawn_rng(seed, "one-shot-requests")
+
+    ratios_hi: list[float] = []
+    ratios_lo: list[float] = []
+    ceilings: list[float] = []
+    for r in counts:
+        nodes = list(rng.choice(num_nodes, size=min(r, num_nodes), replace=False))
+        sched = one_shot([int(v) for v in nodes])
+        rep = measure_competitive_ratio(graph, tree, sched, exact_limit=10)
+        ratios_hi.append(rep.ratio_upper)
+        ratios_lo.append(rep.ratio_lower)
+        # The [10] bound with an explicit (loose) constant for comparison.
+        ceilings.append(4.0 * s * max(1.0, math.log2(len(sched))) * 12.0)
+    xs = [float(c) for c in counts]
+    return ExperimentResult(
+        experiment_id="one-shot",
+        title="One-shot concurrent case: ratio vs |R| ([10])",
+        xlabel="|R| (simultaneous requests)",
+        series=[
+            Series("ratio (vs opt upper bd)", xs, ratios_lo),
+            Series("ratio (vs opt lower bd)", xs, ratios_hi),
+            Series("s log|R| ceiling", xs, ceilings),
+        ],
+        params={"num_nodes": num_nodes, "stretch": s, "seed": seed},
+        notes=["[10]: one-shot arrow is s*log|R| competitive"],
+    )

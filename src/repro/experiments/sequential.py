@@ -1,0 +1,79 @@
+"""The sequential baseline regime (Demmer–Herlihy [4], §1.1 of the paper).
+
+When no two requests are ever concurrently active, every queuing
+operation costs at most ``D`` messages/time on the tree and the
+competitive ratio collapses to the stretch ``s``.  This experiment drives
+well-separated schedules across topologies and verifies both facts —
+a sanity anchor for the dynamic analysis above it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costs import (
+    augmented_nodes_times,
+    c_o_matrix,
+    order_to_indices,
+    path_cost,
+    request_distance_matrix,
+)
+from repro.core.runner import run_arrow
+from repro.experiments.records import ExperimentResult, Series
+from repro.graphs.generators import complete_graph, grid_graph, random_geometric_graph
+from repro.spanning.construct import bfs_tree, mst_prim
+from repro.spanning.metrics import tree_diameter, tree_stretch
+from repro.workloads.schedules import sequential
+from repro.sim.rng import spawn_rng
+
+__all__ = ["run_sequential_experiment"]
+
+
+def run_sequential_experiment(
+    *, num_requests: int = 40, seed: int = 0
+) -> ExperimentResult:
+    """Sequential schedules on three topologies; per-op cost and ratio."""
+    cases = [
+        ("complete-32/bfs", complete_graph(32), bfs_tree),
+        ("grid-6x6/mst", grid_graph(6, 6), mst_prim),
+        ("geometric-40/mst", random_geometric_graph(40, 0.35, seed=seed), mst_prim),
+    ]
+    names: list[float] = []
+    max_op_cost: list[float] = []
+    diameters: list[float] = []
+    ratios: list[float] = []
+    stretches: list[float] = []
+    rng = spawn_rng(seed, "sequential-experiment")
+    for idx, (label, graph, make_tree) in enumerate(cases):
+        tree = make_tree(graph, 0)
+        D = tree_diameter(tree)
+        s = tree_stretch(graph, tree).stretch
+        nodes = [int(rng.integers(0, graph.num_nodes)) for _ in range(num_requests)]
+        sched = sequential(nodes, gap=2.0 * D + 2.0)
+        res = run_arrow(graph, tree, sched)
+        per_op = [res.latency(r.rid) for r in sched]
+        # Sequential optimum: the same order, paying d_G per link (the
+        # offline algorithm cannot reorder a fully sequential history
+        # more cheaply than following it).
+        nvec, times = augmented_nodes_times(sched, tree.root)
+        DG = request_distance_matrix(graph, nvec)
+        opt_cost = path_cost(order_to_indices(res.order), c_o_matrix(DG, times))
+        names.append(float(idx))
+        max_op_cost.append(max(per_op))
+        diameters.append(D)
+        ratios.append(res.total_latency / opt_cost if opt_cost else 1.0)
+        stretches.append(s)
+    return ExperimentResult(
+        experiment_id="sequential",
+        title="Sequential regime: per-op cost <= D, ratio <= stretch",
+        xlabel="case index",
+        series=[
+            Series("max per-op latency", names, max_op_cost),
+            Series("tree diameter D", names, diameters),
+            Series("total ratio (vs seq opt)", names, ratios),
+            Series("tree stretch s", names, stretches),
+        ],
+        params={"num_requests": num_requests, "seed": seed},
+        notes=[
+            "Demmer-Herlihy: sequential ops cost <= D; ratio <= s",
+            "cases: 0=complete-32/bfs, 1=grid-6x6/mst, 2=geometric-40/mst",
+        ],
+    )

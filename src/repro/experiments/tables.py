@@ -1,0 +1,52 @@
+"""ASCII table rendering for experiment results."""
+
+from __future__ import annotations
+
+from repro.experiments.records import ExperimentResult
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(result: ExperimentResult, *, float_fmt: str = "{:.3f}") -> str:
+    """Render a result as a fixed-width table, one row per x value."""
+    headers = [result.xlabel] + [
+        s.name + (f" [{s.unit}]" if s.unit else "") for s in result.series
+    ]
+    xs = result.series[0].xs if result.series else []
+    rows: list[list[str]] = []
+    for i, x in enumerate(xs):
+        row = [_fmt(x, float_fmt)]
+        for s in result.series:
+            row.append(_fmt(s.ys[i], float_fmt) if i < len(s.ys) else "-")
+        rows.append(row)
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [
+        f"== {result.experiment_id}: {result.title} ==",
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for r in rows:
+        out.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    for note in result.notes:
+        out.append(f"note: {note}")
+    return "\n".join(out)
+
+
+def format_kv(pairs: dict, title: str = "") -> str:
+    """Render a flat key/value mapping as aligned lines."""
+    width = max((len(str(k)) for k in pairs), default=0)
+    lines = [f"== {title} =="] if title else []
+    lines += [f"{str(k).ljust(width)} : {v}" for k, v in pairs.items()]
+    return "\n".join(lines)
+
+
+def _fmt(v, float_fmt: str) -> str:
+    if isinstance(v, float):
+        if v == int(v) and abs(v) < 1e15:
+            return str(int(v))
+        return float_fmt.format(v)
+    return str(v)

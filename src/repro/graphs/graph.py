@@ -1,0 +1,139 @@
+"""Undirected weighted graph with adjacency-list storage.
+
+This is the network model of the paper: ``G = (V, E)`` where ``V`` is the
+set of processors and ``E`` the point-to-point FIFO communication links.
+Nodes are integers ``0..n-1``; edges carry positive weights (communication
+latencies).  The class is intentionally minimal — just what the protocol,
+spanning-tree and analysis layers need — and is implemented from scratch
+(``networkx`` is used only as an independent oracle inside the test-suite).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Simple undirected graph with positive edge weights."""
+
+    __slots__ = ("_n", "_adj", "_num_edges")
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise GraphError(f"graph needs at least one node, got {num_nodes}")
+        self._n = int(num_nodes)
+        # _adj[u] maps neighbour -> weight
+        self._adj: list[dict[int, float]] = [dict() for _ in range(self._n)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add the undirected edge ``{u, v}`` with the given weight.
+
+        Re-adding an existing edge overwrites its weight.  Self-loops are
+        rejected: the paper's links connect distinct processors.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError(f"self-loop at node {u} not allowed")
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        if v not in self._adj[u]:
+            self._num_edges += 1
+        self._adj[u][v] = float(weight)
+        self._adj[v][u] = float(weight)
+
+    @classmethod
+    def from_edges(
+        cls, num_nodes: int, edges: Iterable[tuple[int, int] | tuple[int, int, float]]
+    ) -> "Graph":
+        """Build a graph from ``(u, v)`` or ``(u, v, weight)`` tuples."""
+        g = cls(num_nodes)
+        for e in edges:
+            if len(e) == 2:
+                g.add_edge(e[0], e[1])
+            else:
+                g.add_edge(e[0], e[1], e[2])
+        return g
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n`` (nodes are ``0..n-1``)."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._num_edges
+
+    def nodes(self) -> range:
+        """Iterate over node ids."""
+        return range(self._n)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the undirected edge ``{u, v}`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``; raises if absent."""
+        self._check_node(u)
+        self._check_node(v)
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"no edge between {u} and {v}") from None
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        """Iterate over the neighbours of ``u`` (insertion order)."""
+        self._check_node(u)
+        return iter(self._adj[u])
+
+    def neighbor_weights(self, u: int) -> Iterator[tuple[int, float]]:
+        """Iterate over ``(neighbour, weight)`` pairs of ``u``."""
+        self._check_node(u)
+        return iter(self._adj[u].items())
+
+    def degree(self, u: int) -> int:
+        """Number of neighbours of ``u``."""
+        self._check_node(u)
+        return len(self._adj[u])
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over undirected edges once each, as ``(u, v, w), u < v``."""
+        for u in range(self._n):
+            for v, w in self._adj[u].items():
+                if u < v:
+                    yield (u, v, w)
+
+    def is_unit_weighted(self) -> bool:
+        """True iff every edge has weight exactly 1 (the synchronous model)."""
+        return all(w == 1.0 for _, _, w in self.edges())
+
+    def copy(self) -> "Graph":
+        """Deep copy of the graph."""
+        g = Graph(self._n)
+        for u, v, w in self.edges():
+            g.add_edge(u, v, w)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self._n}, m={self._num_edges})"
+
+    # ------------------------------------------------------------------
+    # internal
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self._n:
+            raise GraphError(f"node {u} out of range [0, {self._n})")

@@ -1,0 +1,148 @@
+"""Shortest-path algorithms over :class:`repro.graphs.Graph`.
+
+Provides BFS (unit weights), Dijkstra (general positive weights), and
+all-pairs distance matrices.  The analysis layer uses ``d_G`` distances to
+evaluate the optimal algorithm's cost measure ``c_Opt`` (eq. 3 of the paper)
+and to compute the stretch of spanning trees (Definition 3.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "bfs_distances",
+    "dijkstra",
+    "single_source_distances",
+    "all_pairs_distances",
+    "shortest_path",
+    "is_connected",
+    "connected_components",
+    "eccentricity",
+    "graph_diameter",
+]
+
+
+def bfs_distances(graph: Graph, source: int) -> list[float]:
+    """Hop distances from ``source`` (ignores weights); ``inf`` if unreachable."""
+    dist = [math.inf] * graph.num_nodes
+    dist[source] = 0.0
+    q: deque[int] = deque([source])
+    while q:
+        u = q.popleft()
+        du = dist[u]
+        for v in graph.neighbors(u):
+            if dist[v] == math.inf:
+                dist[v] = du + 1.0
+                q.append(v)
+    return dist
+
+
+def dijkstra(graph: Graph, source: int) -> tuple[list[float], list[int]]:
+    """Weighted distances and predecessor array from ``source``.
+
+    Returns ``(dist, pred)`` where ``pred[v]`` is the previous node on one
+    shortest path from the source (``-1`` for the source and unreachable
+    nodes).
+    """
+    n = graph.num_nodes
+    dist = [math.inf] * n
+    pred = [-1] * n
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in graph.neighbor_weights(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, pred
+
+
+def single_source_distances(graph: Graph, source: int) -> list[float]:
+    """Distances from ``source``; BFS when unit-weighted, Dijkstra otherwise."""
+    if graph.is_unit_weighted():
+        return bfs_distances(graph, source)
+    return dijkstra(graph, source)[0]
+
+
+def all_pairs_distances(graph: Graph) -> np.ndarray:
+    """Dense ``n x n`` distance matrix (float64; ``inf`` if disconnected).
+
+    O(n·(m + n log n)); fine for the experiment scales in this repository
+    (n up to a few thousand).
+    """
+    n = graph.num_nodes
+    out = np.empty((n, n), dtype=np.float64)
+    unit = graph.is_unit_weighted()
+    for s in range(n):
+        row = bfs_distances(graph, s) if unit else dijkstra(graph, s)[0]
+        out[s, :] = row
+    return out
+
+
+def shortest_path(graph: Graph, source: int, target: int) -> list[int]:
+    """One shortest path from ``source`` to ``target`` as a node list.
+
+    Raises :class:`GraphError` when the target is unreachable.
+    """
+    dist, pred = dijkstra(graph, source)
+    if math.isinf(dist[target]):
+        raise GraphError(f"node {target} unreachable from {source}")
+    path = [target]
+    while path[-1] != source:
+        path.append(pred[path[-1]])
+    path.reverse()
+    return path
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph is connected."""
+    return not math.isinf(max(bfs_distances(graph, 0)))
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """Connected components as sorted node lists."""
+    seen = [False] * graph.num_nodes
+    comps: list[list[int]] = []
+    for s in graph.nodes():
+        if seen[s]:
+            continue
+        comp = []
+        q: deque[int] = deque([s])
+        seen[s] = True
+        while q:
+            u = q.popleft()
+            comp.append(u)
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    q.append(v)
+        comps.append(sorted(comp))
+    return comps
+
+
+def eccentricity(graph: Graph, u: int) -> float:
+    """Maximum distance from ``u`` to any node."""
+    return max(single_source_distances(graph, u))
+
+
+def graph_diameter(graph: Graph) -> float:
+    """Maximum pairwise distance (``inf`` for disconnected graphs)."""
+    best = 0.0
+    for u in graph.nodes():
+        ecc = eccentricity(graph, u)
+        if ecc > best:
+            best = ecc
+    return best

@@ -1,0 +1,43 @@
+"""Structural validation helpers for graphs and candidate trees."""
+
+from __future__ import annotations
+
+from repro.errors import GraphError, TreeError
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import is_connected
+
+__all__ = ["require_connected", "is_tree", "require_tree", "require_spanning_subgraph"]
+
+
+def require_connected(graph: Graph) -> None:
+    """Raise :class:`GraphError` unless the graph is connected."""
+    if not is_connected(graph):
+        raise GraphError("graph is not connected")
+
+
+def is_tree(graph: Graph) -> bool:
+    """True iff the graph is connected and has exactly ``n - 1`` edges."""
+    return graph.num_edges == graph.num_nodes - 1 and is_connected(graph)
+
+
+def require_tree(graph: Graph) -> None:
+    """Raise :class:`TreeError` unless the graph is a tree."""
+    if graph.num_edges != graph.num_nodes - 1:
+        raise TreeError(
+            f"tree on {graph.num_nodes} nodes must have {graph.num_nodes - 1} "
+            f"edges, found {graph.num_edges}"
+        )
+    if not is_connected(graph):
+        raise TreeError("candidate tree is disconnected")
+
+
+def require_spanning_subgraph(graph: Graph, tree_edges: list[tuple[int, int]]) -> None:
+    """Check every tree edge exists in ``graph`` (spanning-tree legality).
+
+    The arrow protocol requires the pre-selected tree to be a spanning tree
+    *of the communication graph*: pointers may only reference tree
+    neighbours, and tree neighbours must share a physical link.
+    """
+    for u, v in tree_edges:
+        if not graph.has_edge(u, v):
+            raise TreeError(f"tree edge ({u}, {v}) is not an edge of the graph")

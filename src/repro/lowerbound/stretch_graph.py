@@ -1,0 +1,69 @@
+"""The Theorem 4.2 construction: lower bounds at a prescribed stretch.
+
+For any stretch ``s`` and tree diameter ``D`` (with ``D/s`` a power of
+two), build the graph ``G`` as the path ``v_0..v_D`` plus shortcut edges
+``(v_{(i-1)s}, v_{is})`` of weight ``s`` for ``i = 1..D/s``; the path is a
+spanning tree of ``G`` with stretch exactly ``s`` (each shortcut of weight
+``s``... wait — shortcuts have weight 1 in hops?  The paper adds plain
+edges, making ``d_G(v_{(i-1)s}, v_{is}) = 1`` while the tree needs ``s``
+hops, so the stretch is ``s``).  The Theorem 4.1 request set for a path of
+length ``D/s`` is placed on the shortcut endpoints ``v_0, v_s, v_2s, ...``;
+arrow pays ``Θ(D log(D/s)/log log(D/s))`` while the optimal algorithm uses
+the shortcuts and pays ``O(D/s)``... precisely, ``O(D)`` in tree-distance
+units — either way a ratio of ``Ω(s · log(D/s)/log log(D/s))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.requests import RequestSchedule
+from repro.errors import ScheduleError
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import Graph
+from repro.lowerbound.construction import default_k, theorem41_requests
+from repro.spanning.tree import SpanningTree
+
+__all__ = ["Theorem42Instance", "theorem42_instance"]
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem42Instance:
+    """A stretch-``s`` lower-bound instance."""
+
+    graph: Graph
+    tree: SpanningTree
+    schedule: RequestSchedule
+    D: int
+    s: int
+    k: int
+
+    @property
+    def predicted_arrow_cost(self) -> float:
+        """Arrow pays ``k`` sweeps of the full path: ``Θ(k D)``."""
+        return float(self.k * self.D)
+
+
+def theorem42_instance(D_over_s: int, s: int, k: int | None = None) -> Theorem42Instance:
+    """Build the Theorem 4.2 instance with tree diameter ``D = s * D_over_s``.
+
+    ``D_over_s`` must be a power of two; ``s >= 1``.  The tree is the full
+    path rooted at ``v_0``; the graph adds one unit-weight shortcut per
+    ``s`` path hops, giving the tree stretch ``s``.
+    """
+    if s < 1:
+        raise ScheduleError(f"stretch must be >= 1, got {s}")
+    if k is None:
+        k = default_k(D_over_s)
+    D = s * D_over_s
+    graph = path_graph(D + 1)
+    if s > 1:
+        for i in range(1, D_over_s + 1):
+            graph.add_edge((i - 1) * s, i * s, 1.0)
+    parent = [max(0, i - 1) for i in range(D + 1)]
+    tree = SpanningTree(parent, root=0)
+    # Requests of the path-(D/s) construction, placed s hops apart.
+    pairs = [
+        (pos * s, t) for (pos, t) in theorem41_requests(D_over_s, k)
+    ]
+    return Theorem42Instance(graph, tree, RequestSchedule(pairs), D, s, k)

@@ -1,0 +1,28 @@
+"""Message-passing network substrate: FIFO links, latency models, nodes."""
+
+from repro.net.channel import FifoChannel
+from repro.net.latency import (
+    ExponentialCappedLatency,
+    LatencyModel,
+    ScaledWeightLatency,
+    UniformLatency,
+    UnitLatency,
+    WeightLatency,
+)
+from repro.net.message import Message
+from repro.net.network import Network, NetworkStats
+from repro.net.node import ProtocolNode
+
+__all__ = [
+    "FifoChannel",
+    "ExponentialCappedLatency",
+    "LatencyModel",
+    "ScaledWeightLatency",
+    "UniformLatency",
+    "UnitLatency",
+    "WeightLatency",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "ProtocolNode",
+]

@@ -1,0 +1,236 @@
+"""The network: graph + simulator + channels + protocol nodes.
+
+:class:`Network` wires everything together:
+
+* **single-hop sends** (:meth:`send_link`) traverse one FIFO channel — the
+  only kind of send the arrow protocol itself performs (its messages hop
+  between spanning-tree neighbours, which are physical links);
+* **routed sends** (:meth:`send_routed`) deliver along a shortest path of
+  ``G`` with the summed per-edge delays — used by the centralized baseline
+  and by application-level replies (object hand-off, completion notices),
+  which the paper routes over the network rather than the tree;
+* an optional **per-node service time** serialises message handling at each
+  node, modelling CPU occupancy.  The synchronous analysis model (§3.1)
+  corresponds to ``service_time == 0`` ("a node can process up to deg(v)
+  messages in a time step"); the Fig. 10 experiment's centralized bottleneck
+  appears when the service time is positive.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import dijkstra
+from repro.net.channel import FifoChannel
+from repro.net.latency import LatencyModel, UnitLatency
+from repro.net.message import Message
+from repro.net.node import ProtocolNode
+from repro.sim.kernel import Simulator
+from repro.sim.rng import spawn_rng
+from repro.sim.trace import Tracer
+
+__all__ = ["Network", "NetworkStats"]
+
+
+class NetworkStats:
+    """Aggregate message counters for one run."""
+
+    __slots__ = ("messages_sent", "link_messages", "routed_messages", "hops_total", "per_node_received")
+
+    def __init__(self, n: int) -> None:
+        self.messages_sent = 0
+        self.link_messages = 0
+        self.routed_messages = 0
+        self.hops_total = 0
+        self.per_node_received = [0] * n
+
+    def as_dict(self) -> dict[str, Any]:
+        """Counters as a plain dict (for experiment records)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "link_messages": self.link_messages,
+            "routed_messages": self.routed_messages,
+            "hops_total": self.hops_total,
+        }
+
+
+class Network:
+    """Message-passing network over a graph, driven by a simulator."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        sim: Simulator | None = None,
+        latency: LatencyModel | None = None,
+        *,
+        seed: int = 0,
+        service_time: float = 0.0,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if service_time < 0:
+            raise NetworkError(f"service_time must be >= 0, got {service_time}")
+        self.graph = graph
+        self.sim = sim if sim is not None else Simulator()
+        self.latency = latency if latency is not None else UnitLatency()
+        self.rng: np.random.Generator = spawn_rng(seed, "network-latency")
+        self.service_time = float(service_time)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.stats = NetworkStats(graph.num_nodes)
+
+        self._nodes: list[ProtocolNode | None] = [None] * graph.num_nodes
+        self._channels: dict[tuple[int, int], FifoChannel] = {}
+        # Sequential-service state: when the next message may begin service.
+        self._busy_until: list[float] = [0.0] * graph.num_nodes
+        # Routed-path cache: source -> (dist, pred) from Dijkstra.
+        self._route_cache: dict[int, tuple[list[float], list[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def register(self, node_id: int, node: ProtocolNode) -> None:
+        """Install the protocol state machine for one node."""
+        if not 0 <= node_id < self.graph.num_nodes:
+            raise NetworkError(f"node {node_id} out of range")
+        self._nodes[node_id] = node
+        node.attach(self, node_id)
+
+    def register_all(self, nodes: list[ProtocolNode]) -> None:
+        """Install one state machine per node, by index."""
+        if len(nodes) != self.graph.num_nodes:
+            raise NetworkError(
+                f"need {self.graph.num_nodes} nodes, got {len(nodes)}"
+            )
+        for i, nd in enumerate(nodes):
+            self.register(i, nd)
+
+    def node(self, node_id: int) -> ProtocolNode:
+        """The registered state machine at ``node_id``."""
+        nd = self._nodes[node_id]
+        if nd is None:
+            raise NetworkError(f"no protocol node registered at {node_id}")
+        return nd
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send_link(
+        self, src: int, dst: int, kind: str, payload: dict[str, Any] | None = None
+    ) -> Message:
+        """Send one message over the physical link ``src -> dst`` (FIFO)."""
+        if not self.graph.has_edge(src, dst):
+            raise NetworkError(f"no link between {src} and {dst}")
+        msg = Message(kind, src, dst, payload or {}, sent_at=self.sim.now)
+        msg.hops = 1  # this link traversal
+        ch = self._channel(src, dst)
+        self.stats.messages_sent += 1
+        self.stats.link_messages += 1
+        self.stats.hops_total += 1
+        self.tracer.emit(self.sim.now, "send", msg_kind=kind, src=src, dst=dst, uid=msg.uid)
+        ch.transmit(self.sim, self.latency, self.rng, msg, self._arrive)
+        return msg
+
+    def send_routed(
+        self, src: int, dst: int, kind: str, payload: dict[str, Any] | None = None
+    ) -> Message:
+        """Send a message along a shortest ``G``-path from ``src`` to ``dst``.
+
+        Delivery happens once, after the summed per-edge delays; the hop
+        count records the path length.  A message to self delivers after
+        zero delay (still as its own atomic event).
+        """
+        msg = Message(kind, src, dst, payload or {}, sent_at=self.sim.now)
+        self.stats.messages_sent += 1
+        self.stats.routed_messages += 1
+        self.tracer.emit(
+            self.sim.now, "send_routed", msg_kind=kind, src=src, dst=dst, uid=msg.uid
+        )
+        if src == dst:
+            self.sim.call_in(0.0, self._arrive, msg)
+            return msg
+        path = self._route(src, dst)
+        delay = 0.0
+        for a, b in zip(path, path[1:]):
+            delay += self.latency.sample(a, b, self.graph.weight(a, b), self.rng)
+        msg.hops = len(path) - 1
+        self.stats.hops_total += msg.hops
+        self.sim.call_in(delay, self._arrive, msg)
+        return msg
+
+    def forward(self, msg: Message, new_dst: int) -> Message:
+        """Forward an in-flight logical operation one more link hop.
+
+        Creates a fresh message that inherits the payload and accumulated
+        hop count; arrow uses this as queue messages chase the sink.
+        """
+        nxt = Message(
+            msg.kind,
+            msg.dst,
+            new_dst,
+            msg.payload,
+            sent_at=self.sim.now,
+            hops=msg.hops,
+        )
+        if not self.graph.has_edge(nxt.src, nxt.dst):
+            raise NetworkError(f"no link between {nxt.src} and {nxt.dst}")
+        ch = self._channel(nxt.src, nxt.dst)
+        self.stats.messages_sent += 1
+        self.stats.link_messages += 1
+        self.stats.hops_total += 1
+        nxt.hops += 1
+        self.tracer.emit(
+            self.sim.now, "send", msg_kind=nxt.kind, src=nxt.src, dst=nxt.dst, uid=nxt.uid
+        )
+        ch.transmit(self.sim, self.latency, self.rng, nxt, self._arrive)
+        return nxt
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def _arrive(self, msg: Message) -> None:
+        """Message reached its destination; apply the service-time model."""
+        if self.service_time == 0.0:
+            self._dispatch(msg)
+            return
+        begin = max(self.sim.now, self._busy_until[msg.dst])
+        finish = begin + self.service_time
+        self._busy_until[msg.dst] = finish
+        self.sim.call_at(finish, self._dispatch, msg)
+
+    def _dispatch(self, msg: Message) -> None:
+        node = self._nodes[msg.dst]
+        if node is None:
+            raise NetworkError(f"message {msg.kind} delivered to empty node {msg.dst}")
+        self.stats.per_node_received[msg.dst] += 1
+        self.tracer.emit(
+            self.sim.now, "deliver", msg_kind=msg.kind, src=msg.src, dst=msg.dst, uid=msg.uid
+        )
+        node.on_message(msg)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _channel(self, src: int, dst: int) -> FifoChannel:
+        key = (src, dst)
+        ch = self._channels.get(key)
+        if ch is None:
+            ch = FifoChannel(src, dst, self.graph.weight(src, dst))
+            self._channels[key] = ch
+        return ch
+
+    def _route(self, src: int, dst: int) -> list[int]:
+        cached = self._route_cache.get(src)
+        if cached is None:
+            cached = dijkstra(self.graph, src)
+            self._route_cache[src] = cached
+        dist, pred = cached
+        if dist[dst] == float("inf"):
+            raise NetworkError(f"node {dst} unreachable from {src}")
+        path = [dst]
+        while path[-1] != src:
+            path.append(pred[path[-1]])
+        path.reverse()
+        return path

@@ -1,0 +1,53 @@
+"""Protocol-node base class.
+
+A protocol (arrow, centralized, Ivy, NTA) is written as a subclass of
+:class:`ProtocolNode` with an ``on_message`` handler.  Handlers run
+atomically inside the simulation kernel — this realises the paper's atomic
+initiation and path-reversal step sequences without explicit locking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.network import Network
+
+__all__ = ["ProtocolNode"]
+
+
+class ProtocolNode:
+    """Base class for per-node protocol state machines."""
+
+    __slots__ = ("net", "node_id")
+
+    def __init__(self) -> None:
+        self.net: "Network | None" = None
+        self.node_id: int = -1
+
+    def attach(self, net: "Network", node_id: int) -> None:
+        """Bind this state machine to a network endpoint.
+
+        Called by :meth:`Network.register`; subclasses may override to run
+        initialisation that needs the node id (call ``super().attach`` first).
+        """
+        self.net = net
+        self.node_id = node_id
+
+    # -- to be overridden ------------------------------------------------
+    def on_message(self, msg: Message) -> None:
+        """Handle one delivered message (atomic)."""
+        raise NotImplementedError
+
+    # -- conveniences ----------------------------------------------------
+    def send(self, kind: str, dst: int, **payload) -> Message:
+        """Send a single-hop message over the link to a neighbour."""
+        assert self.net is not None, "node not attached to a network"
+        return self.net.send_link(self.node_id, dst, kind, payload)
+
+    def send_routed(self, kind: str, dst: int, **payload) -> Message:
+        """Send a message routed along a shortest path in ``G``."""
+        assert self.net is not None, "node not attached to a network"
+        return self.net.send_routed(self.node_id, dst, kind, payload)

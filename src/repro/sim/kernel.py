@@ -1,0 +1,146 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the event queue.  All protocol
+code in this library is written as plain callbacks against this kernel; a
+callback runs atomically (no other event interleaves with it), which models
+the paper's atomic initiation / path-reversal steps directly.
+
+Typical use::
+
+    sim = Simulator()
+    sim.call_at(3.0, handler, arg1, arg2)
+    sim.call_in(1.5, other_handler)
+    sim.run()                # drain all events
+    print(sim.now)           # time of the last fired event
+
+The kernel is single-threaded and deterministic: ties are broken by
+``(priority, scheduling order)`` — see :mod:`repro.sim.events`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue, PRIORITY_DEFAULT
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event simulator."""
+
+    __slots__ = ("_queue", "_now", "_running", "_fired", "_max_events")
+
+    def __init__(self, max_events: int | None = None) -> None:
+        """Create a simulator.
+
+        Parameters
+        ----------
+        max_events:
+            Optional safety valve: :meth:`run` raises
+            :class:`SimulationError` after firing this many events.  Useful
+            for catching accidental livelock in protocol code under test.
+        """
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._fired = 0
+        self._max_events = max_events
+
+    # ------------------------------------------------------------------
+    # clock & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the event being processed)."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events processed so far (cancelled events excluded)."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still scheduled."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_DEFAULT,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``.
+
+        Scheduling into the past raises :class:`SimulationError`; scheduling
+        exactly at :attr:`now` is allowed and the event fires after every
+        event already scheduled for the current instant with lower-or-equal
+        priority, preserving causality within a time step.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} (now is t={self._now})"
+            )
+        return self._queue.push(time, fn, args, priority)
+
+    def call_in(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_DEFAULT,
+    ) -> Event:
+        """Schedule ``fn(*args)`` after a non-negative relative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, fn, args, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (no-op if already fired)."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single earliest event.  Returns False if queue empty."""
+        if not self._queue:
+            return False
+        ev = self._queue.pop()
+        self._now = ev.time
+        self._fired += 1
+        ev.fn(*ev.args)
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains (or the clock passes ``until``).
+
+        Returns the final simulation time.  Events scheduled exactly at
+        ``until`` still fire; the first event strictly beyond it does not,
+        and remains queued.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        try:
+            while self._queue:
+                if until is not None and self._queue.peek_time() > until:
+                    self._now = until
+                    break
+                self.step()
+                if self._max_events is not None and self._fired > self._max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self._max_events}; "
+                        "possible livelock in protocol code"
+                    )
+        finally:
+            self._running = False
+        return self._now

@@ -1,0 +1,39 @@
+"""Spanning-tree substrate: rooted trees, constructions, quality metrics."""
+
+from repro.spanning.construct import (
+    UnionFind,
+    balanced_binary_overlay,
+    bfs_tree,
+    mst_kruskal,
+    mst_prim,
+    random_spanning_tree,
+    star_overlay,
+)
+from repro.spanning.metrics import (
+    StretchReport,
+    average_stretch,
+    tree_center,
+    tree_diameter,
+    tree_radius,
+    tree_stretch,
+    tree_stretch_brute_force,
+)
+from repro.spanning.tree import SpanningTree
+
+__all__ = [
+    "SpanningTree",
+    "UnionFind",
+    "balanced_binary_overlay",
+    "bfs_tree",
+    "mst_kruskal",
+    "mst_prim",
+    "random_spanning_tree",
+    "star_overlay",
+    "StretchReport",
+    "average_stretch",
+    "tree_center",
+    "tree_diameter",
+    "tree_radius",
+    "tree_stretch",
+    "tree_stretch_brute_force",
+]

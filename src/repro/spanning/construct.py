@@ -1,0 +1,207 @@
+"""Spanning-tree constructions.
+
+The choice of spanning tree determines the stretch ``s`` and diameter ``D``
+that appear in the paper's competitive ratio ``O(s log D)``.  This module
+provides the constructions discussed in §1.1:
+
+* **minimum spanning tree** (Demmer–Herlihy's suggestion) — Prim and
+  Kruskal variants, implemented from scratch;
+* **BFS / shortest-path tree** — small depth from a chosen root;
+* **balanced binary overlay tree** — the tree the paper's own experiments
+  use on the complete SP2 graph (§5);
+* **random spanning tree** (Wilson's loop-erased random walk) — used by the
+  test-suite to exercise the protocol on unstructured trees;
+* **star overlay** — degenerate comparison point (centralized-like shape).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import GraphError, TreeError
+from repro.graphs.graph import Graph
+from repro.spanning.tree import SpanningTree
+from repro.sim.rng import spawn_rng
+
+__all__ = [
+    "mst_prim",
+    "mst_kruskal",
+    "bfs_tree",
+    "balanced_binary_overlay",
+    "star_overlay",
+    "random_spanning_tree",
+    "UnionFind",
+]
+
+
+class UnionFind:
+    """Disjoint-set forest with union by rank and path compression."""
+
+    __slots__ = ("parent", "rank", "components")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.rank = [0] * n
+        self.components = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path compression)."""
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; False if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.components -= 1
+        return True
+
+
+def mst_prim(graph: Graph, root: int = 0) -> SpanningTree:
+    """Minimum spanning tree by Prim's algorithm, rooted at ``root``."""
+    n = graph.num_nodes
+    in_tree = [False] * n
+    parent = [-1] * n
+    weight_to = [float("inf")] * n
+    parent[root] = root
+    weight_to[root] = 0.0
+    heap: list[tuple[float, int, int]] = [(0.0, root, root)]
+    edges: list[tuple[int, int, float]] = []
+    while heap:
+        w, u, par = heapq.heappop(heap)
+        if in_tree[u]:
+            continue
+        in_tree[u] = True
+        parent[u] = par
+        if u != root:
+            edges.append((u, par, w))
+        for v, wv in graph.neighbor_weights(u):
+            if not in_tree[v] and wv < weight_to[v]:
+                weight_to[v] = wv
+                heapq.heappush(heap, (wv, v, u))
+    if not all(in_tree):
+        raise GraphError("graph is disconnected; no spanning tree exists")
+    return SpanningTree.from_edges(n, edges, root)
+
+
+def mst_kruskal(graph: Graph, root: int = 0) -> SpanningTree:
+    """Minimum spanning tree by Kruskal's algorithm, rooted at ``root``.
+
+    Ties are broken by ``(weight, u, v)`` so the result is deterministic.
+    """
+    n = graph.num_nodes
+    uf = UnionFind(n)
+    chosen: list[tuple[int, int, float]] = []
+    for u, v, w in sorted(graph.edges(), key=lambda e: (e[2], e[0], e[1])):
+        if uf.union(u, v):
+            chosen.append((u, v, w))
+            if len(chosen) == n - 1:
+                break
+    if len(chosen) != n - 1:
+        raise GraphError("graph is disconnected; no spanning tree exists")
+    return SpanningTree.from_edges(n, chosen, root)
+
+
+def bfs_tree(graph: Graph, root: int = 0) -> SpanningTree:
+    """Shortest-path tree from ``root`` (Dijkstra; BFS on unit weights).
+
+    Guarantees ``d_T(root, v) = d_G(root, v)`` for every ``v``, hence tree
+    diameter at most twice the graph's eccentricity of the root.
+    """
+    from repro.graphs.shortest_paths import dijkstra
+
+    dist, pred = dijkstra(graph, root)
+    if any(d == float("inf") for d in dist):
+        raise GraphError("graph is disconnected; no spanning tree exists")
+    edges = [
+        (v, pred[v], graph.weight(v, pred[v]))
+        for v in graph.nodes()
+        if v != root
+    ]
+    return SpanningTree.from_edges(graph.num_nodes, edges, root)
+
+
+def balanced_binary_overlay(graph: Graph, root: int = 0) -> SpanningTree:
+    """Balanced binary tree overlay over the nodes of a complete graph.
+
+    This reproduces the paper's experimental setup (§5): on a network where
+    every pair is directly connected with equal latency, pick a perfectly
+    balanced binary tree of depth ``log2 n`` as the arrow spanning tree.
+    Node ids are assigned in heap order starting from ``root``.
+
+    Raises :class:`TreeError` if some required overlay edge is missing from
+    the graph (i.e. the graph is not complete enough to host the overlay).
+    """
+    n = graph.num_nodes
+    # Heap-order permutation placing `root` at position 0.
+    order = [root] + [v for v in graph.nodes() if v != root]
+    edges = []
+    for i in range(1, n):
+        u, p = order[i], order[(i - 1) // 2]
+        if not graph.has_edge(u, p):
+            raise TreeError(
+                f"balanced overlay needs edge ({u}, {p}) which is absent; "
+                "use a complete graph or a BFS/MST tree instead"
+            )
+        edges.append((u, p, graph.weight(u, p)))
+    return SpanningTree.from_edges(n, edges, root)
+
+
+def star_overlay(graph: Graph, center: int = 0) -> SpanningTree:
+    """Star spanning tree centred at ``center`` (requires those edges)."""
+    n = graph.num_nodes
+    edges = []
+    for v in graph.nodes():
+        if v == center:
+            continue
+        if not graph.has_edge(v, center):
+            raise TreeError(f"star overlay needs edge ({v}, {center})")
+        edges.append((v, center, graph.weight(v, center)))
+    return SpanningTree.from_edges(n, edges, center)
+
+
+def random_spanning_tree(graph: Graph, root: int = 0, seed: int = 0) -> SpanningTree:
+    """Uniform random spanning tree via Wilson's loop-erased random walk.
+
+    Weights on the chosen edges are inherited from the graph.  Uniformity
+    holds for unweighted sampling (the walk ignores weights) — exactly what
+    the tests need: unbiased random tree shapes.
+    """
+    n = graph.num_nodes
+    rng = spawn_rng(seed, f"wilson-{n}")
+    in_tree = [False] * n
+    parent = [-1] * n
+    in_tree[root] = True
+    parent[root] = root
+    nbrs = [list(graph.neighbors(u)) for u in range(n)]
+    for start in range(n):
+        if in_tree[start]:
+            continue
+        # Random walk from `start` until hitting the tree, recording the
+        # successor of each visited node (loop erasure by overwrite).
+        u = start
+        while not in_tree[u]:
+            if not nbrs[u]:
+                raise GraphError("graph is disconnected; no spanning tree exists")
+            nxt = nbrs[u][rng.integers(len(nbrs[u]))]
+            parent[u] = nxt
+            u = nxt
+        # Retrace the erased walk and attach it to the tree.
+        u = start
+        while not in_tree[u]:
+            in_tree[u] = True
+            u = parent[u]
+    edges = [
+        (v, parent[v], graph.weight(v, parent[v])) for v in range(n) if v != root
+    ]
+    return SpanningTree.from_edges(n, edges, root)

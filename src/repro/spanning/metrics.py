@@ -1,0 +1,154 @@
+"""Quality metrics for spanning trees: stretch, diameter, radius.
+
+Definition 3.1 of the paper: given graph ``G`` and spanning tree ``T``, the
+stretch is ``s = max_{u,v} d_T(u, v) / d_G(u, v)``.  For the maximum it
+suffices to scan the *edges* of ``G``: for any pair ``(u, v)`` with a
+shortest ``G``-path ``u = x_0, x_1, ..., x_k = v``,
+
+    d_T(u, v) <= sum_i d_T(x_i, x_{i+1})
+              <= max_edge_stretch * sum_i d_G(x_i, x_{i+1})
+              =  max_edge_stretch * d_G(u, v),
+
+so the per-edge maximum dominates every pair.  This turns an ``O(n^2)``
+scan into ``O(m)`` LCA queries and also yields a *certificate edge* that
+the tests check against a brute-force all-pairs computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TreeError
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import all_pairs_distances
+from repro.spanning.tree import SpanningTree
+
+__all__ = [
+    "StretchReport",
+    "tree_stretch",
+    "tree_stretch_brute_force",
+    "average_stretch",
+    "tree_diameter",
+    "tree_radius",
+    "tree_center",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StretchReport:
+    """Stretch value plus the edge certifying it."""
+
+    stretch: float
+    witness: tuple[int, int]
+
+
+def tree_stretch(graph: Graph, tree: SpanningTree) -> StretchReport:
+    """Maximum stretch of ``tree`` w.r.t. ``graph`` (Definition 3.1).
+
+    Scans the graph's edges (see module docstring for why that is enough)
+    and verifies the tree's edges exist in the graph.
+    """
+    best = 1.0
+    witness = (tree.root, tree.root)
+    for u, v, w in tree.edges():
+        if not graph.has_edge(u, v):
+            raise TreeError(f"tree edge ({u}, {v}) missing from graph")
+    for u, v, w in graph.edges():
+        ratio = tree.distance(u, v) / w
+        if ratio > best:
+            best = ratio
+            witness = (u, v)
+    return StretchReport(best, witness)
+
+
+def tree_stretch_brute_force(graph: Graph, tree: SpanningTree) -> float:
+    """All-pairs stretch (O(n^2) pairs); test oracle for :func:`tree_stretch`."""
+    dg = all_pairs_distances(graph)
+    n = graph.num_nodes
+    best = 1.0
+    for u in range(n):
+        for v in range(u + 1, n):
+            best = max(best, tree.distance(u, v) / dg[u, v])
+    return best
+
+
+def average_stretch(graph: Graph, tree: SpanningTree) -> float:
+    """Mean of ``d_T(u,v)/d_G(u,v)`` over all unordered pairs.
+
+    Peleg–Reshef [18] show the *sequential* protocol overhead is governed by
+    communication-weighted averages rather than the max; this metric feeds
+    the tree-selection ablation benches.
+    """
+    dg = all_pairs_distances(graph)
+    n = graph.num_nodes
+    total = 0.0
+    count = 0
+    for u in range(n):
+        for v in range(u + 1, n):
+            total += tree.distance(u, v) / dg[u, v]
+            count += 1
+    return total / count if count else 1.0
+
+
+def tree_diameter(tree: SpanningTree) -> float:
+    """Weighted diameter ``D`` of the tree (double sweep).
+
+    Two passes of the standard farthest-node sweep; exact on trees.
+    """
+    far, _ = _farthest(tree, tree.root)
+    _, dist = _farthest(tree, far)
+    return dist
+
+
+def tree_radius(tree: SpanningTree) -> float:
+    """Weighted radius: ``min_u max_v d_T(u, v)``."""
+    _, ecc = tree_center(tree)
+    return ecc
+
+
+def tree_center(tree: SpanningTree) -> tuple[int, float]:
+    """A center node and its eccentricity.
+
+    The weighted center lies on the diameter path at the point minimising
+    the maximum distance to the two diameter endpoints.
+    """
+    a, _ = _farthest(tree, tree.root)
+    b, diam = _farthest(tree, a)
+    path = tree.path(a, b)
+    best_node = a
+    best_ecc = diam
+    run = 0.0
+    for i, x in enumerate(path):
+        if i > 0:
+            run += _edge_w(tree, path[i - 1], x)
+        ecc = max(run, diam - run)
+        if ecc < best_ecc:
+            best_ecc = ecc
+            best_node = x
+    return best_node, best_ecc
+
+
+def _edge_w(tree: SpanningTree, u: int, v: int) -> float:
+    if tree.parent[u] == v:
+        return tree.edge_weight[u]
+    if tree.parent[v] == u:
+        return tree.edge_weight[v]
+    raise TreeError(f"({u}, {v}) is not a tree edge")
+
+
+def _farthest(tree: SpanningTree, src: int) -> tuple[int, float]:
+    """Farthest node from ``src`` and its distance, by DFS."""
+    n = tree.num_nodes
+    dist = [-1.0] * n
+    dist[src] = 0.0
+    stack = [src]
+    best_node, best_dist = src, 0.0
+    while stack:
+        u = stack.pop()
+        for v in tree.neighbors(u):
+            if dist[v] < 0:
+                dist[v] = dist[u] + _edge_w(tree, u, v)
+                if dist[v] > best_dist:
+                    best_node, best_dist = v, dist[v]
+                stack.append(v)
+    return best_node, best_dist

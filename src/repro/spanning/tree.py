@@ -1,0 +1,277 @@
+"""Rooted spanning tree with fast distance queries.
+
+The arrow protocol operates on a pre-selected spanning tree ``T`` of the
+network.  :class:`SpanningTree` stores the rooted structure (parents,
+children, depths), answers ``d_T(u, v)`` distance queries in ``O(log n)``
+via binary-lifting LCA, and exposes the path between two nodes (used by the
+tests that verify queue messages travel the direct tree path, [4]).
+
+Trees may be weighted; ``depth`` counts hops while ``wdepth`` accumulates
+edge weights, and ``distance`` returns the weighted tree metric (which
+collapses to hop count on unit-weighted trees — the synchronous model).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.errors import TreeError
+from repro.graphs.graph import Graph
+
+__all__ = ["SpanningTree"]
+
+
+class SpanningTree:
+    """A rooted tree over nodes ``0..n-1`` with LCA-based distance queries."""
+
+    __slots__ = (
+        "_n",
+        "root",
+        "parent",
+        "children",
+        "depth",
+        "wdepth",
+        "edge_weight",
+        "_up",
+        "_log",
+    )
+
+    def __init__(
+        self,
+        parent: Sequence[int],
+        root: int,
+        edge_weights: Sequence[float] | None = None,
+    ) -> None:
+        """Build from a parent array.
+
+        Parameters
+        ----------
+        parent:
+            ``parent[v]`` is the parent of ``v``; ``parent[root]`` must be
+            ``root`` itself.
+        root:
+            The root node (initial queue tail / sink in the protocol).
+        edge_weights:
+            ``edge_weights[v]`` is the weight of the edge ``v — parent[v]``
+            (ignored at the root).  Defaults to all ones.
+        """
+        n = len(parent)
+        if not 0 <= root < n:
+            raise TreeError(f"root {root} out of range [0, {n})")
+        if parent[root] != root:
+            raise TreeError("parent[root] must equal root")
+        self._n = n
+        self.root = root
+        self.parent = list(parent)
+        self.edge_weight = (
+            [1.0] * n if edge_weights is None else [float(w) for w in edge_weights]
+        )
+        self.edge_weight[root] = 0.0
+
+        self.children: list[list[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            p = self.parent[v]
+            if v != root:
+                if not 0 <= p < n:
+                    raise TreeError(f"parent[{v}]={p} out of range")
+                if p == v:
+                    raise TreeError(f"non-root node {v} is its own parent")
+                self.children[p].append(v)
+
+        # BFS from the root: computes depths and validates that the parent
+        # array encodes a single tree reaching every node (no cycles, no
+        # disconnected pieces).
+        self.depth = [-1] * n
+        self.wdepth = [0.0] * n
+        self.depth[root] = 0
+        q: deque[int] = deque([root])
+        seen = 1
+        while q:
+            u = q.popleft()
+            for c in self.children[u]:
+                if self.depth[c] != -1:
+                    raise TreeError(f"node {c} reached twice; parent array has a cycle")
+                self.depth[c] = self.depth[u] + 1
+                self.wdepth[c] = self.wdepth[u] + self.edge_weight[c]
+                seen += 1
+                q.append(c)
+        if seen != n:
+            raise TreeError(
+                f"parent array reaches only {seen}/{n} nodes (cycle or forest)"
+            )
+
+        self._build_lifting()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+        root: int = 0,
+    ) -> "SpanningTree":
+        """Build from an undirected edge list, rooting at ``root``."""
+        adj: list[list[tuple[int, float]]] = [[] for _ in range(num_nodes)]
+        count = 0
+        for e in edges:
+            u, v = e[0], e[1]
+            w = float(e[2]) if len(e) == 3 else 1.0
+            adj[u].append((v, w))
+            adj[v].append((u, w))
+            count += 1
+        if count != num_nodes - 1:
+            raise TreeError(f"tree needs {num_nodes - 1} edges, got {count}")
+        parent = [-1] * num_nodes
+        weights = [1.0] * num_nodes
+        parent[root] = root
+        q: deque[int] = deque([root])
+        while q:
+            u = q.popleft()
+            for v, w in adj[u]:
+                if parent[v] == -1 and v != root:
+                    parent[v] = u
+                    weights[v] = w
+                    q.append(v)
+        if any(p == -1 for p in parent):
+            raise TreeError("edge list does not form a connected tree")
+        return cls(parent, root, weights)
+
+    @classmethod
+    def from_graph(cls, tree_graph: Graph, root: int = 0) -> "SpanningTree":
+        """Build from a :class:`Graph` that is itself a tree."""
+        return cls.from_edges(tree_graph.num_nodes, tree_graph.edges(), root)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    def reroot(self, new_root: int) -> "SpanningTree":
+        """Return the same tree rooted at a different node."""
+        return SpanningTree.from_edges(self._n, self.edges(), new_root)
+
+    def edges(self) -> list[tuple[int, int, float]]:
+        """Undirected edge list ``(child, parent, weight)``."""
+        return [
+            (v, self.parent[v], self.edge_weight[v])
+            for v in range(self._n)
+            if v != self.root
+        ]
+
+    def neighbors(self, u: int) -> list[int]:
+        """Tree neighbours of ``u`` (parent first, then children)."""
+        out = [] if u == self.root else [self.parent[u]]
+        out.extend(self.children[u])
+        return out
+
+    def degree(self, u: int) -> int:
+        """Number of tree neighbours of ``u``."""
+        return len(self.children[u]) + (0 if u == self.root else 1)
+
+    def lca(self, u: int, v: int) -> int:
+        """Lowest common ancestor of ``u`` and ``v``."""
+        if self.depth[u] < self.depth[v]:
+            u, v = v, u
+        diff = self.depth[u] - self.depth[v]
+        up = self._up
+        k = 0
+        while diff:
+            if diff & 1:
+                u = up[k][u]
+            diff >>= 1
+            k += 1
+        if u == v:
+            return u
+        for k in range(self._log - 1, -1, -1):
+            if up[k][u] != up[k][v]:
+                u = up[k][u]
+                v = up[k][v]
+        return self.parent[u]
+
+    def distance(self, u: int, v: int) -> float:
+        """Weighted tree distance ``d_T(u, v)``."""
+        a = self.lca(u, v)
+        return self.wdepth[u] + self.wdepth[v] - 2.0 * self.wdepth[a]
+
+    def hop_distance(self, u: int, v: int) -> int:
+        """Unweighted (hop) tree distance."""
+        a = self.lca(u, v)
+        return self.depth[u] + self.depth[v] - 2 * self.depth[a]
+
+    def path(self, u: int, v: int) -> list[int]:
+        """The unique tree path from ``u`` to ``v``, inclusive."""
+        a = self.lca(u, v)
+        left = []
+        x = u
+        while x != a:
+            left.append(x)
+            x = self.parent[x]
+        right = []
+        x = v
+        while x != a:
+            right.append(x)
+            x = self.parent[x]
+        return left + [a] + list(reversed(right))
+
+    def next_hop_towards(self, u: int, target: int) -> int:
+        """The tree neighbour of ``u`` on the path to ``target``.
+
+        Used to initialise arrow pointers (everything points toward the
+        initial root) and by tests that replay message routes.
+        """
+        if u == target:
+            return u
+        a = self.lca(u, target)
+        if u == a:
+            # target is in u's subtree: step to the child whose subtree
+            # contains target.
+            x = target
+            while self.parent[x] != u:
+                x = self.parent[x]
+            return x
+        return self.parent[u]
+
+    def subtree_nodes(self, u: int) -> list[int]:
+        """All nodes in the subtree rooted at ``u`` (preorder)."""
+        out = []
+        stack = [u]
+        while stack:
+            x = stack.pop()
+            out.append(x)
+            stack.extend(reversed(self.children[x]))
+        return out
+
+    def leaves(self) -> list[int]:
+        """All leaf nodes (nodes with no children; root excluded if it has)."""
+        return [v for v in range(self._n) if not self.children[v] and v != self.root] + (
+            [self.root] if not self.children[self.root] and self._n > 1 else []
+        )
+
+    def to_graph(self) -> Graph:
+        """The tree as an undirected :class:`Graph`."""
+        g = Graph(self._n)
+        for u, v, w in self.edges():
+            g.add_edge(u, v, w)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanningTree(n={self._n}, root={self.root})"
+
+    # ------------------------------------------------------------------
+    # internal: binary lifting table
+    # ------------------------------------------------------------------
+    def _build_lifting(self) -> None:
+        n = self._n
+        log = max(1, (max(self.depth)).bit_length())
+        up = [self.parent[:]]
+        for k in range(1, log):
+            prev = up[k - 1]
+            up.append([prev[prev[v]] for v in range(n)])
+        self._up = up
+        self._log = log

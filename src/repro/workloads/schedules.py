@@ -1,0 +1,160 @@
+"""Request-schedule generators.
+
+The paper's analysis covers *any* finite request set; these generators
+produce the families used by the experiments and tests:
+
+* **one-shot concurrent** — all requests at ``t = 0`` (the setting of the
+  precursor paper [10]);
+* **sequential** — requests spaced far enough apart that no two are ever
+  active concurrently (the Demmer–Herlihy [4] setting: per-op cost <= D);
+* **Poisson** — memoryless arrivals at a configurable aggregate rate: the
+  generic "dynamic" workload;
+* **bursty** — alternating high-activity windows and idle gaps, the shape
+  that motivates the Lemma 3.11 idle-time compression;
+* **hotspot** — node choice biased toward a region of the tree, modelling
+  contention for a popular object.
+
+All generators take a seed and are deterministic given their arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.requests import RequestSchedule
+from repro.errors import ScheduleError
+from repro.sim.rng import spawn_rng
+
+__all__ = [
+    "one_shot",
+    "sequential",
+    "poisson",
+    "bursty",
+    "hotspot",
+    "random_times",
+]
+
+
+def one_shot(nodes: list[int]) -> RequestSchedule:
+    """Every listed node issues one request at time 0 (concurrent case)."""
+    return RequestSchedule([(v, 0.0) for v in nodes])
+
+
+def sequential(
+    nodes: list[int], gap: float, *, start: float = 0.0
+) -> RequestSchedule:
+    """One request per listed node, ``gap`` time units apart.
+
+    Choose ``gap > 2 D`` to guarantee the sequential regime (each request
+    completes before the next is issued, whatever the pair of nodes).
+    """
+    if gap <= 0:
+        raise ScheduleError(f"gap must be positive, got {gap}")
+    return RequestSchedule(
+        [(v, start + i * gap) for i, v in enumerate(nodes)]
+    )
+
+
+def poisson(
+    num_nodes: int,
+    count: int,
+    rate: float,
+    *,
+    seed: int = 0,
+    nodes: list[int] | None = None,
+) -> RequestSchedule:
+    """``count`` requests with exponential inter-arrival times.
+
+    ``rate`` is the aggregate arrival rate (requests per time unit);
+    issuing nodes are uniform over ``nodes`` (default: all nodes).
+    """
+    if rate <= 0:
+        raise ScheduleError(f"rate must be positive, got {rate}")
+    rng = spawn_rng(seed, f"poisson-{num_nodes}-{count}-{rate}")
+    gaps = rng.exponential(1.0 / rate, size=count)
+    times = np.cumsum(gaps)
+    pool = nodes if nodes is not None else list(range(num_nodes))
+    picks = rng.integers(0, len(pool), size=count)
+    return RequestSchedule(
+        [(pool[picks[i]], float(times[i])) for i in range(count)]
+    )
+
+
+def bursty(
+    num_nodes: int,
+    bursts: int,
+    burst_size: int,
+    burst_span: float,
+    idle_gap: float,
+    *,
+    seed: int = 0,
+) -> RequestSchedule:
+    """Alternating activity bursts and idle periods.
+
+    Each burst issues ``burst_size`` requests at uniform random times
+    within a ``burst_span`` window from uniform random nodes; bursts are
+    separated by ``idle_gap``.
+    """
+    if burst_span < 0 or idle_gap < 0:
+        raise ScheduleError("burst_span and idle_gap must be non-negative")
+    rng = spawn_rng(seed, f"bursty-{num_nodes}-{bursts}-{burst_size}")
+    pairs: list[tuple[int, float]] = []
+    t0 = 0.0
+    for _ in range(bursts):
+        offsets = rng.uniform(0.0, burst_span, size=burst_size)
+        picks = rng.integers(0, num_nodes, size=burst_size)
+        pairs.extend(
+            (int(picks[i]), t0 + float(offsets[i])) for i in range(burst_size)
+        )
+        t0 += burst_span + idle_gap
+    return RequestSchedule(pairs)
+
+
+def hotspot(
+    num_nodes: int,
+    count: int,
+    rate: float,
+    hot_nodes: list[int],
+    hot_fraction: float = 0.8,
+    *,
+    seed: int = 0,
+) -> RequestSchedule:
+    """Poisson arrivals with node choice biased toward ``hot_nodes``."""
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ScheduleError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    if not hot_nodes:
+        raise ScheduleError("hot_nodes must be non-empty")
+    rng = spawn_rng(seed, f"hotspot-{num_nodes}-{count}")
+    gaps = rng.exponential(1.0 / rate, size=count)
+    times = np.cumsum(gaps)
+    pairs = []
+    for i in range(count):
+        if rng.random() < hot_fraction:
+            v = hot_nodes[int(rng.integers(0, len(hot_nodes)))]
+        else:
+            v = int(rng.integers(0, num_nodes))
+        pairs.append((v, float(times[i])))
+    return RequestSchedule(pairs)
+
+
+def random_times(
+    num_nodes: int,
+    count: int,
+    horizon: float,
+    *,
+    seed: int = 0,
+    continuous: bool = True,
+) -> RequestSchedule:
+    """Uniform random (node, time) pairs over ``[0, horizon]``.
+
+    With ``continuous`` the times are real-valued, which makes cost ties
+    measure-zero — the regime where the fast NN executor must match the
+    simulator exactly (used heavily by the integration tests).
+    """
+    rng = spawn_rng(seed, f"random-{num_nodes}-{count}-{horizon}")
+    picks = rng.integers(0, num_nodes, size=count)
+    if continuous:
+        times = rng.uniform(0.0, horizon, size=count)
+    else:
+        times = rng.integers(0, max(1, int(horizon)) + 1, size=count).astype(float)
+    return RequestSchedule([(int(picks[i]), float(times[i])) for i in range(count)])

@@ -1,0 +1,79 @@
+"""Unit tests for competitive-ratio measurement."""
+
+import pytest
+
+from repro.analysis.competitive import measure_competitive_ratio, theorem_319_ceiling
+from repro.core.requests import RequestSchedule
+from repro.errors import AnalysisError
+from repro.graphs import complete_graph, path_graph
+from repro.net.latency import UniformLatency
+from repro.spanning import SpanningTree, balanced_binary_overlay
+
+
+def chain_tree(n):
+    return SpanningTree([max(0, i - 1) for i in range(n)], root=0)
+
+
+def test_ceiling_grows_with_stretch_and_diameter():
+    assert theorem_319_ceiling(2.0, 16) > theorem_319_ceiling(1.0, 16)
+    assert theorem_319_ceiling(1.0, 1024) > theorem_319_ceiling(1.0, 16)
+
+
+def test_report_fields_consistent():
+    g = path_graph(9)
+    sched = RequestSchedule([(8, 0.0), (2, 1.0), (5, 3.0)])
+    rep = measure_competitive_ratio(g, chain_tree(9), sched)
+    assert rep.simulated
+    assert rep.stretch == 1.0
+    assert rep.diameter == 8.0
+    assert rep.ratio_lower <= rep.ratio_upper
+    assert rep.within_ceiling
+    assert rep.arrow_cost > 0
+
+
+def test_fast_executor_mode_matches_simulation_on_tie_free():
+    from repro.workloads.schedules import random_times
+
+    g = path_graph(12)
+    tree = chain_tree(12)
+    sched = random_times(12, 10, horizon=8.0, seed=3)
+    sim = measure_competitive_ratio(g, tree, sched, simulate=True)
+    fast = measure_competitive_ratio(g, tree, sched, simulate=False)
+    assert fast.arrow_cost == pytest.approx(sim.arrow_cost)
+
+
+def test_fast_executor_rejects_latency_model():
+    g = path_graph(4)
+    sched = RequestSchedule([(3, 0.0)])
+    with pytest.raises(AnalysisError):
+        measure_competitive_ratio(
+            g, chain_tree(4), sched, simulate=False, latency=UniformLatency()
+        )
+
+
+def test_empty_schedule_rejected():
+    g = path_graph(4)
+    with pytest.raises(AnalysisError):
+        measure_competitive_ratio(g, chain_tree(4), RequestSchedule([]))
+
+
+def test_exact_bracket_collapses_for_small_instances():
+    g = complete_graph(6)
+    tree = balanced_binary_overlay(g, 0)
+    sched = RequestSchedule([(2, 0.0), (5, 0.5), (3, 2.0)])
+    rep = measure_competitive_ratio(g, tree, sched)
+    assert rep.opt.exact
+    assert rep.ratio_lower == pytest.approx(rep.ratio_upper)
+    assert rep.ratio_lower >= 1.0 - 1e-9  # arrow can't beat the optimum
+
+
+def test_async_report_within_ceiling():
+    g = complete_graph(8)
+    tree = balanced_binary_overlay(g, 0)
+    from repro.workloads.schedules import poisson
+
+    sched = poisson(8, 12, rate=2.0, seed=1)
+    rep = measure_competitive_ratio(
+        g, tree, sched, latency=UniformLatency(0.3, 1.0), seed=2
+    )
+    assert rep.within_ceiling

@@ -1,0 +1,125 @@
+"""Unit tests for the Theorem 3.18 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.nn_tsp import (
+    check_theorem_318,
+    nn_tour,
+    optimal_tour_cost,
+    tour_cost,
+    validate_dominated_pair,
+)
+from repro.errors import AnalysisError
+from repro.sim.rng import spawn_rng
+
+
+def random_metric(m, seed):
+    """Random shortest-path-closed metric from random symmetric costs."""
+    rng = spawn_rng(seed, "metric")
+    C = rng.random((m, m)) * 10
+    C = (C + C.T) / 2
+    np.fill_diagonal(C, 0.0)
+    # Floyd-Warshall closure makes it a metric.
+    for k in range(m):
+        C = np.minimum(C, C[:, k][:, None] + C[k, :][None, :])
+    return C
+
+
+def test_tour_cost_closes_loop():
+    C = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 3.0], [2.0, 3.0, 0.0]])
+    assert tour_cost([0, 1, 2], C) == 1 + 3 + 2
+
+
+def test_nn_tour_includes_closing_edge():
+    C = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 3.0], [2.0, 3.0, 0.0]])
+    cost, indices, max_edge, min_nonzero = nn_tour(C)
+    assert indices == [0, 1, 2]
+    assert cost == 1 + 3 + 2
+    assert max_edge == 3.0
+    assert min_nonzero == 1.0
+
+
+def test_optimal_tour_exact_small():
+    C = random_metric(6, 1)
+    exact = optimal_tour_cost(C)
+    # Brute force oracle
+    import itertools
+
+    best = min(
+        tour_cost([0, *perm], C) for perm in itertools.permutations(range(1, 6))
+    )
+    assert exact == pytest.approx(best)
+
+
+def test_validate_dominated_pair_accepts_valid():
+    Do = random_metric(6, 2)
+    Dn = Do * 0.5
+    validate_dominated_pair(Dn, Do)
+
+
+def test_validate_rejects_asymmetric_do():
+    Do = random_metric(4, 3)
+    bad = Do.copy()
+    bad[0, 1] += 1.0
+    with pytest.raises(AnalysisError, match="symmetric"):
+        validate_dominated_pair(bad * 0.5, bad)
+
+
+def test_validate_rejects_triangle_violation():
+    Do = np.array(
+        [[0.0, 1.0, 5.0], [1.0, 0.0, 1.0], [5.0, 1.0, 0.0]]
+    )  # 0-2 direct 5 > 1+1
+    with pytest.raises(AnalysisError, match="triangle"):
+        validate_dominated_pair(Do * 0.5, Do)
+
+
+def test_validate_rejects_undominated_dn():
+    Do = random_metric(5, 4)
+    with pytest.raises(AnalysisError, match="dominated"):
+        validate_dominated_pair(Do * 1.5, Do)
+
+
+def test_validate_rejects_negative_dn():
+    Do = random_metric(5, 5)
+    Dn = Do * 0.5
+    Dn[1, 2] = -0.1
+    with pytest.raises(AnalysisError, match="non-negative"):
+        validate_dominated_pair(Dn, Do)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_theorem_318_holds_on_random_dominated_pairs(seed):
+    rng = spawn_rng(seed, "dominated")
+    Do = random_metric(9, seed + 100)
+    Dn = Do * rng.uniform(0.1, 1.0, size=Do.shape)
+    Dn = np.minimum(Dn, Dn.T * 0 + Dn)  # keep >= 0 and <= Do
+    np.fill_diagonal(Dn, 0.0)
+    rep = check_theorem_318(Dn, Do, exact_limit=8)
+    assert rep.holds
+    assert rep.nn_cost <= rep.bound_value + 1e-9
+
+
+def test_theorem_318_on_arrow_cost_pair():
+    """The actual (c_T, c_M) pair from a simulated schedule satisfies it."""
+    from repro.analysis.costs import (
+        augmented_nodes_times,
+        c_m_matrix,
+        c_t_matrix,
+        request_distance_matrix,
+    )
+    from repro.core.requests import RequestSchedule
+    from repro.spanning import SpanningTree
+
+    tree = SpanningTree([max(0, i - 1) for i in range(8)], root=0)
+    sched = RequestSchedule([(7, 0.0), (3, 1.0), (5, 2.0), (1, 2.5), (6, 4.0)])
+    nodes, times = augmented_nodes_times(sched, tree.root)
+    D = request_distance_matrix(tree, nodes)
+    rep = check_theorem_318(c_t_matrix(D, times), c_m_matrix(D, times))
+    assert rep.holds
+
+
+def test_theorem_318_degenerate_all_zero():
+    Z = np.zeros((4, 4))
+    rep = check_theorem_318(Z, Z)
+    assert rep.holds

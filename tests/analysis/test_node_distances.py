@@ -1,0 +1,40 @@
+"""Unit tests for the per-source node distance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.costs import graph_node_distances, tree_node_distances
+from repro.graphs import grid_graph, random_geometric_graph
+from repro.spanning import SpanningTree, bfs_tree, mst_prim
+
+
+def test_tree_node_distances_weighted():
+    tree = SpanningTree([0, 0, 1], root=0, edge_weights=[0.0, 2.0, 3.0])
+    d = tree_node_distances(tree, np.array([2]))
+    assert d[2][0] == 5.0 and d[2][1] == 3.0 and d[2][2] == 0.0
+
+
+def test_tree_node_distances_only_computes_requested_sources():
+    g = grid_graph(4, 4)
+    tree = bfs_tree(g, 0)
+    d = tree_node_distances(tree, np.array([3, 3, 7]))
+    assert set(d) == {3, 7}
+
+
+def test_tree_node_distances_match_lca_queries():
+    g = random_geometric_graph(20, 0.4, seed=6)
+    tree = mst_prim(g, 0)
+    d = tree_node_distances(tree, np.array([5, 11]))
+    for src in (5, 11):
+        for v in range(20):
+            assert d[src][v] == pytest.approx(tree.distance(src, v))
+
+
+def test_graph_node_distances_match_dijkstra():
+    g = grid_graph(3, 5)
+    d = graph_node_distances(g, np.array([0, 14]))
+    from repro.graphs import dijkstra
+
+    for src in (0, 14):
+        want = dijkstra(g, src)[0]
+        assert list(d[src]) == want

@@ -1,0 +1,89 @@
+"""Tests for the distributed-directory applications (§1 / §5.1)."""
+
+import pytest
+
+from repro.apps.directory import arrow_directory, home_directory
+from repro.graphs import complete_graph, grid_graph
+from repro.net.latency import UniformLatency
+from repro.spanning import balanced_binary_overlay, bfs_tree
+
+
+@pytest.fixture
+def k8():
+    g = complete_graph(8)
+    return g, balanced_binary_overlay(g, root=0)
+
+
+def test_arrow_directory_all_acquisitions_complete(k8):
+    g, tree = k8
+    res = arrow_directory(g, tree, acquisitions_per_proc=15)
+    assert res.completions == 8 * 15
+    assert len(res.intervals) == 120
+
+
+def test_arrow_directory_mutual_exclusion(k8):
+    g, tree = k8
+    res = arrow_directory(g, tree, acquisitions_per_proc=25, cs_time=0.7)
+    assert res.exclusion_holds()
+
+
+def test_arrow_directory_async_mutual_exclusion(k8):
+    g, tree = k8
+    res = arrow_directory(
+        g,
+        tree,
+        acquisitions_per_proc=15,
+        latency=UniformLatency(0.2, 1.0),
+        seed=3,
+    )
+    assert res.exclusion_holds()
+    assert res.completions == 120
+
+
+def test_arrow_directory_on_grid():
+    g = grid_graph(3, 4)
+    tree = bfs_tree(g, 0)
+    res = arrow_directory(g, tree, acquisitions_per_proc=10)
+    assert res.completions == 120
+    assert res.exclusion_holds()
+
+
+def test_home_directory_all_acquisitions_and_exclusion(k8):
+    g, _ = k8
+    res = home_directory(g, 0, acquisitions_per_proc=15, cs_time=0.7)
+    assert res.completions == 120
+    assert res.exclusion_holds()
+
+
+def test_home_directory_message_count_per_op(k8):
+    """dreq + dfwd + dobj + ddone per remote handoff: about 4/op."""
+    g, _ = k8
+    res = home_directory(g, 0, acquisitions_per_proc=20)
+    per_op = res.messages_sent / res.total_acquisitions
+    assert 3.0 <= per_op <= 4.0 + 1e-9
+
+
+def test_arrow_directory_cheaper_handoffs(k8):
+    """Arrow ships the object directly: fewer messages per acquisition."""
+    g, tree = k8
+    a = arrow_directory(g, tree, acquisitions_per_proc=25)
+    h = home_directory(g, 0, acquisitions_per_proc=25)
+    assert a.messages_sent < h.messages_sent
+
+
+def test_arrow_directory_beats_home_based_makespan(k8):
+    """The §5.1 headline: arrow directory completes sooner, 2..16 PEs."""
+    for n in (2, 16):
+        g = complete_graph(n)
+        tree = balanced_binary_overlay(g, root=0)
+        a = arrow_directory(g, tree, acquisitions_per_proc=20, service_time=0.1)
+        h = home_directory(g, 0, acquisitions_per_proc=20, service_time=0.1)
+        assert a.makespan < h.makespan
+
+
+def test_directory_result_statistics(k8):
+    g, tree = k8
+    res = arrow_directory(g, tree, acquisitions_per_proc=5)
+    assert res.total_acquisitions == 40
+    assert res.mean_wait >= 0.0
+    assert res.makespan > 0.0

@@ -1,0 +1,77 @@
+"""Unit tests for RunResult bookkeeping and total-order verification."""
+
+import pytest
+
+from repro.core.queueing import CompletionRecord, RunResult, verify_total_order
+from repro.core.requests import ROOT_RID, RequestSchedule
+from repro.errors import ProtocolError
+
+
+def sched3():
+    return RequestSchedule([(0, 0.0), (1, 1.0), (2, 2.0)])
+
+
+def rec(rid, pred, node=0, when=1.0, hops=1):
+    return CompletionRecord(rid, pred, node, when, hops)
+
+
+def test_order_reconstruction_follows_successor_chain():
+    r = RunResult(sched3())
+    r.record(rec(2, 0))
+    r.record(rec(0, ROOT_RID))
+    r.record(rec(1, 2))
+    assert r.order == [0, 2, 1]
+    assert verify_total_order(r) == [0, 2, 1]
+
+
+def test_double_completion_rejected():
+    r = RunResult(sched3())
+    r.record(rec(0, ROOT_RID))
+    with pytest.raises(ProtocolError):
+        r.record(rec(0, ROOT_RID))
+
+
+def test_two_requests_claiming_same_predecessor_rejected():
+    r = RunResult(sched3())
+    r.record(rec(0, ROOT_RID))
+    r.record(rec(1, 0))
+    r.record(rec(2, 0))
+    with pytest.raises(ProtocolError):
+        _ = r.order
+
+
+def test_broken_chain_detected():
+    r = RunResult(sched3())
+    r.record(rec(0, ROOT_RID))
+    r.record(rec(2, 1))  # predecessor 1 never completed
+    with pytest.raises(ProtocolError):
+        _ = r.order
+
+
+def test_missing_completion_detected():
+    r = RunResult(sched3())
+    r.record(rec(0, ROOT_RID))
+    with pytest.raises(ProtocolError, match="never completed"):
+        verify_total_order(r)
+
+
+def test_latency_and_totals():
+    r = RunResult(sched3())
+    r.record(CompletionRecord(0, ROOT_RID, 0, 2.0, 2))
+    r.record(CompletionRecord(1, 0, 0, 4.0, 3))
+    r.record(CompletionRecord(2, 1, 1, 2.5, 0))
+    assert r.latency(0) == 2.0
+    assert r.latency(1) == 3.0
+    assert r.latency(2) == 0.5
+    assert r.total_latency == pytest.approx(5.5)
+    assert r.total_hops == 5
+    assert r.mean_hops == pytest.approx(5 / 3)
+    assert r.local_find_fraction() == pytest.approx(1 / 3)
+
+
+def test_empty_result_statistics():
+    r = RunResult(RequestSchedule([]))
+    assert r.order == []
+    assert r.total_latency == 0.0
+    assert r.mean_hops == 0.0
+    assert r.local_find_fraction() == 0.0

@@ -1,0 +1,81 @@
+"""Unit tests for requests and schedules."""
+
+import pytest
+
+from repro.core.requests import NO_RID, ROOT_RID, Request, RequestSchedule
+from repro.errors import ScheduleError
+
+
+def test_canonical_order_is_time_major():
+    s = RequestSchedule([(5, 3.0), (1, 1.0), (2, 2.0)])
+    assert [r.node for r in s] == [1, 2, 5]
+    assert [r.rid for r in s] == [0, 1, 2]
+
+
+def test_ties_keep_insertion_order():
+    s = RequestSchedule([(9, 1.0), (4, 1.0), (7, 1.0)])
+    assert [r.node for r in s] == [9, 4, 7]
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ScheduleError):
+        RequestSchedule([(0, -1.0)])
+
+
+def test_by_rid_lookup():
+    s = RequestSchedule([(3, 0.0), (4, 1.0)])
+    assert s.by_rid(1).node == 4
+    with pytest.raises(ScheduleError):
+        s.by_rid(7)
+
+
+def test_nodes_times_vectors():
+    s = RequestSchedule([(3, 0.5), (4, 1.5)])
+    assert s.nodes == [3, 4]
+    assert s.times == [0.5, 1.5]
+    assert s.max_time() == 1.5
+
+
+def test_empty_schedule():
+    s = RequestSchedule([])
+    assert len(s) == 0
+    assert s.max_time() == 0.0
+
+
+def test_validate_nodes():
+    s = RequestSchedule([(3, 0.0)])
+    s.validate_nodes(4)
+    with pytest.raises(ScheduleError):
+        s.validate_nodes(3)
+
+
+def test_shifted_moves_selected_requests():
+    s = RequestSchedule([(0, 0.0), (1, 5.0), (2, 9.0)])
+    s2 = s.shifted([1, 2], -3.0)
+    assert s2.times == [0.0, 2.0, 6.0]
+    # Unshifted schedule is untouched (immutability).
+    assert s.times == [0.0, 5.0, 9.0]
+
+
+def test_shifted_reindexes_canonically():
+    s = RequestSchedule([(0, 0.0), (1, 5.0)])
+    s2 = s.shifted([1], -5.0)  # both now at t=0
+    assert [r.time for r in s2] == [0.0, 0.0]
+    assert sorted(r.rid for r in s2) == [0, 1]
+
+
+def test_restricted_to_times():
+    s = RequestSchedule([(0, 0.0), (1, 2.0), (2, 4.0)])
+    got = s.restricted_to_times(1.0, 3.0)
+    assert [r.node for r in got] == [1]
+
+
+def test_reserved_ids_distinct():
+    assert ROOT_RID != NO_RID
+    assert ROOT_RID < 0 and NO_RID < 0
+
+
+def test_request_frozen():
+    r = Request(0, 1.0, 0)
+    with pytest.raises(AttributeError):
+        r.node = 5  # type: ignore[misc]

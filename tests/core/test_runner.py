@@ -1,0 +1,94 @@
+"""Unit tests for the protocol runners' plumbing and validation."""
+
+import pytest
+
+from repro.core.requests import RequestSchedule
+from repro.core.runner import run_arrow, run_centralized
+from repro.errors import ScheduleError, TreeError
+from repro.graphs import complete_graph, path_graph
+from repro.net.latency import UniformLatency
+from repro.sim.trace import Tracer
+from repro.spanning import SpanningTree, balanced_binary_overlay
+from repro.workloads.schedules import poisson
+
+
+def chain_tree(n):
+    return SpanningTree([max(0, i - 1) for i in range(n)], root=0)
+
+
+def test_bad_schedule_node_rejected():
+    g = path_graph(3)
+    with pytest.raises(ScheduleError):
+        run_arrow(g, chain_tree(3), RequestSchedule([(9, 0.0)]))
+
+
+def test_tree_must_span_graph_edges():
+    g = path_graph(4)
+    star = SpanningTree([0, 0, 0, 0], root=0)
+    with pytest.raises(TreeError):
+        run_arrow(g, star, RequestSchedule([(1, 0.0)]))
+
+
+def test_empty_schedule_runs_cleanly():
+    g = path_graph(3)
+    res = run_arrow(g, chain_tree(3), RequestSchedule([]))
+    assert res.total_latency == 0.0
+    assert res.makespan == 0.0
+
+
+def test_makespan_and_wall_seconds_populated():
+    g = path_graph(5)
+    res = run_arrow(g, chain_tree(5), RequestSchedule([(4, 0.0)]))
+    assert res.makespan == 4.0
+    assert res.wall_seconds >= 0.0
+
+
+def test_network_stats_reported():
+    g = path_graph(5)
+    res = run_arrow(g, chain_tree(5), RequestSchedule([(4, 0.0)]))
+    assert res.network_stats["link_messages"] == 4
+
+
+def test_tracer_records_protocol_messages():
+    g = path_graph(4)
+    tr = Tracer()
+    run_arrow(g, chain_tree(4), RequestSchedule([(3, 0.0)]), tracer=tr)
+    sends = list(tr.of_kind("send"))
+    assert len(sends) == 3
+    assert all(r.payload["msg_kind"] == "queue" for r in sends)
+
+
+def test_async_latency_model_completes_and_is_bounded():
+    """§3.8: with delays <= 1, each request's latency is at most the tree
+    distance to its (async-order) predecessor's issuer."""
+    g = complete_graph(12)
+    tree = balanced_binary_overlay(g, 0)
+    sched = poisson(12, 60, rate=3.0, seed=5)
+    res = run_arrow(g, tree, sched, latency=UniformLatency(0.2, 1.0), seed=7)
+    assert len(res.completions) == 60
+    for r in sched:
+        rec = res.completions[r.rid]
+        assert res.latency(r.rid) <= tree.distance(r.node, rec.informed_node) + 1e-9
+
+
+def test_async_runs_deterministic_given_seed():
+    g = complete_graph(10)
+    tree = balanced_binary_overlay(g, 0)
+    sched = poisson(10, 40, rate=2.0, seed=1)
+    a = run_arrow(g, tree, sched, latency=UniformLatency(0.2, 1.0), seed=3)
+    b = run_arrow(g, tree, sched, latency=UniformLatency(0.2, 1.0), seed=3)
+    assert a.order == b.order
+    assert a.total_latency == b.total_latency
+
+
+def test_centralized_empty_schedule():
+    g = complete_graph(3)
+    res = run_centralized(g, 0, RequestSchedule([]))
+    assert res.total_latency == 0.0
+
+
+def test_service_time_delays_each_hop():
+    """One request over a 4-hop chain: each hop adds latency + service."""
+    g = path_graph(5)
+    res = run_arrow(g, chain_tree(5), RequestSchedule([(4, 0.0)]), service_time=0.5)
+    assert res.completions[0].completed_at == 4 * 1.5

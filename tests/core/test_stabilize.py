@@ -1,0 +1,121 @@
+"""Unit tests for the self-stabilisation extension."""
+
+import pytest
+
+from repro.core.arrow import ArrowNode
+from repro.core.requests import RequestSchedule
+from repro.core.stabilize import (
+    count_sinks,
+    find_violations,
+    is_legal_configuration,
+    sink_reached_from,
+    stabilize,
+)
+from repro.graphs import path_graph, random_geometric_graph
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.spanning import SpanningTree, bfs_tree
+
+
+def make_nodes(tree, graph=None):
+    g = graph if graph is not None else tree.to_graph()
+    net = Network(g, Simulator())
+    nodes = [ArrowNode(lambda *a: None) for _ in range(tree.num_nodes)]
+    net.register_all(nodes)
+    for nd in nodes:
+        nd.init_pointers(tree)
+    return net, nodes
+
+
+def chain_tree(n):
+    return SpanningTree([max(0, i - 1) for i in range(n)], root=0)
+
+
+def test_initial_configuration_is_legal():
+    tree = chain_tree(6)
+    _, nodes = make_nodes(tree)
+    assert is_legal_configuration(nodes, tree)
+    assert count_sinks(nodes) == 1
+    assert sink_reached_from(nodes, 5, 6) == 0
+
+
+def test_two_cycle_detected_as_double():
+    tree = chain_tree(4)
+    _, nodes = make_nodes(tree)
+    nodes[0].link = 1  # now 0 -> 1 and 1 -> 0
+    v = find_violations(nodes, tree)
+    assert any(x.kind == "double" for x in v)
+    assert sink_reached_from(nodes, 3, 4) is None  # walk enters the 2-cycle
+
+
+def test_abandoned_edge_detected_as_none():
+    tree = chain_tree(4)
+    _, nodes = make_nodes(tree)
+    nodes[3].link = 3  # second sink; edge (3,2) crossed by nobody
+    v = find_violations(nodes, tree)
+    assert any(x.kind == "none" for x in v)
+    assert count_sinks(nodes) == 2
+
+
+def test_stabilize_fixes_double():
+    tree = chain_tree(4)
+    _, nodes = make_nodes(tree)
+    nodes[0].link = 1
+    fixes = stabilize(nodes, tree)
+    assert fixes >= 1
+    assert is_legal_configuration(nodes, tree)
+    assert count_sinks(nodes) == 1
+
+
+def test_stabilize_fixes_multiple_sinks():
+    tree = chain_tree(6)
+    _, nodes = make_nodes(tree)
+    nodes[3].link = 3
+    nodes[5].link = 5
+    stabilize(nodes, tree)
+    assert is_legal_configuration(nodes, tree)
+    assert count_sinks(nodes) == 1
+    sink = next(nd.node_id for nd in nodes if nd.link == nd.node_id)
+    for v in range(6):
+        assert sink_reached_from(nodes, v, 6) == sink
+
+
+def test_stabilize_noop_on_legal_configuration():
+    tree = chain_tree(8)
+    _, nodes = make_nodes(tree)
+    assert stabilize(nodes, tree) == 0
+
+
+def test_protocol_works_after_stabilization():
+    g = random_geometric_graph(15, 0.4, seed=2)
+    tree = bfs_tree(g, 0)
+    net, nodes = make_nodes(tree, g)
+    # Corrupt arbitrarily: every node points at its first tree neighbour.
+    for nd in nodes:
+        nd.link = tree.neighbors(nd.node_id)[0]
+    stabilize(nodes, tree)
+    assert is_legal_configuration(nodes, tree)
+    # Issue requests from every node; all must complete into one order.
+    done = []
+    for nd in nodes:
+        nd._on_complete = lambda rid, pred, node, when, hops: done.append(rid)
+    for i, nd in enumerate(nodes):
+        net.sim.call_at(float(i), nd.initiate, i, float(i))
+    net.sim.run()
+    assert sorted(done) == list(range(15))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_stabilize_from_random_corruption(seed):
+    from repro.sim.rng import spawn_rng
+
+    g = random_geometric_graph(20, 0.35, seed=seed)
+    tree = bfs_tree(g, 0)
+    _, nodes = make_nodes(tree, g)
+    rng = spawn_rng(seed, "corrupt")
+    for nd in nodes:
+        choices = tree.neighbors(nd.node_id) + [nd.node_id]
+        nd.link = choices[rng.integers(len(choices))]
+    stabilize(nodes, tree)
+    assert is_legal_configuration(nodes, tree)
+    assert count_sinks(nodes) == 1

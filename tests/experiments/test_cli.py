@@ -1,0 +1,63 @@
+"""CLI smoke tests (tiny parameter sets)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_fig10_command(capsys):
+    assert main(["fig10", "--procs", "2,6", "--requests-per-proc", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out and "centralized" in out
+
+
+def test_fig11_command(capsys):
+    assert main(["fig11", "--procs", "2,6", "--requests-per-proc", "20"]) == 0
+    assert "mean hops/op" in capsys.readouterr().out
+
+
+def test_fig9_command(capsys):
+    assert main(["fig9", "-D", "16", "-k", "2", "--variant", "layered"]) == 0
+    out = capsys.readouterr().out
+    assert "measured ratio" in out
+    assert "*" in out  # the picture
+
+
+def test_thm319_command(capsys):
+    assert main(["thm319", "--diameters", "8,16", "--requests", "12"]) == 0
+    assert "ceiling" in capsys.readouterr().out
+
+
+def test_thm42_command(capsys):
+    assert main(["thm42", "--stretches", "1,2"]) == 0
+    assert "stretch" in capsys.readouterr().out
+
+
+def test_sequential_command(capsys):
+    assert main(["sequential"]) == 0
+    assert "Sequential" in capsys.readouterr().out
+
+
+def test_json_output(tmp_path, capsys):
+    path = tmp_path / "out.json"
+    assert main(["--json", str(path), "fig11", "--procs", "2,4",
+                 "--requests-per-proc", "10"]) == 0
+    docs = json.loads(path.read_text())
+    assert docs[0]["experiment_id"] == "fig11"
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_directory_command(capsys):
+    assert main(["directory", "--procs", "2,4", "--acquisitions-per-proc", "10"]) == 0
+    assert "home-based" in capsys.readouterr().out
+
+
+def test_oneshot_command(capsys):
+    assert main(["oneshot"]) == 0
+    assert "One-shot" in capsys.readouterr().out

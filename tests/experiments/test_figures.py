@@ -1,0 +1,95 @@
+"""Experiment-harness tests: each figure's qualitative shape at small scale.
+
+The full-size regenerations live in ``benchmarks/``; these tests run the
+same code paths at reduced scale and assert the *shape* claims hold, so a
+regression in any experiment is caught by ``pytest tests/``.
+"""
+
+import pytest
+
+from repro.experiments.fig9 import render_instance, run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.sequential import run_sequential_experiment
+
+
+PROCS = [2, 8, 24, 48]
+KW = dict(requests_per_proc=80, service_time=0.1, think_time=0.1)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_fig10(PROCS, **KW)
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_fig11(PROCS, **KW)
+
+
+def test_fig10_centralized_grows_superlinearly(fig10):
+    c = fig10.series_by_name("centralized").ys
+    assert c[-1] > 2.0 * c[0]
+
+
+def test_fig10_arrow_stays_subquadratic_flat(fig10):
+    a = fig10.series_by_name("arrow").ys
+    # 24x more processors, less than 2x total time: the paper's "nearly
+    # constant with increasing system size".
+    assert a[-1] < 2.0 * a[0]
+
+
+def test_fig10_arrow_beats_centralized_at_scale(fig10):
+    a = fig10.series_by_name("arrow").ys
+    c = fig10.series_by_name("centralized").ys
+    assert a[-1] < c[-1]
+
+
+def test_fig11_mean_hops_below_one(fig11):
+    hops = fig11.series_by_name("mean hops/op").ys
+    assert all(h < 1.2 for h in hops)
+    assert all(h < 1.0 for h in hops[1:])  # beyond the 2-proc ping-pong
+
+
+def test_fig11_local_finds_are_common(fig11):
+    frac = fig11.series_by_name("local-find fraction").ys
+    assert all(f > 0.3 for f in frac[1:])
+
+
+def test_fig9_literal_and_layered_reports():
+    lit = run_fig9(64, 4, variant="literal")
+    lay = run_fig9(64, 4, variant="layered")
+    assert lit.num_requests > 0 and lay.num_requests > 0
+    assert lay.ratio > lit.ratio * 0.9
+    assert lay.opt_upper <= 3 * 64
+    with pytest.raises(ValueError):
+        run_fig9(64, 4, variant="nope")
+
+
+def test_fig9_picture_dimensions():
+    rep = run_fig9(64, 4, variant="layered")
+    lines = rep.picture.splitlines()
+    assert len(lines) == 5  # one row per time layer 0..4
+    assert all("*" in line for line in lines)
+
+
+def test_render_instance_marks_requests():
+    from repro.core.requests import RequestSchedule
+
+    sched = RequestSchedule([(0, 0.0), (8, 1.0)])
+    pic = render_instance(sched, 8, width=9)
+    rows = pic.splitlines()
+    assert rows[0].count("*") == 1
+    assert rows[1].count("*") == 1
+
+
+def test_sequential_experiment_bounds():
+    res = run_sequential_experiment(num_requests=15, seed=1)
+    max_cost = res.series_by_name("max per-op latency").ys
+    diam = res.series_by_name("tree diameter D").ys
+    ratio = res.series_by_name("total ratio (vs seq opt)").ys
+    stretch = res.series_by_name("tree stretch s").ys
+    for c, d in zip(max_cost, diam):
+        assert c <= d + 1e-9  # Demmer-Herlihy per-op bound
+    for r, s in zip(ratio, stretch):
+        assert r <= s + 1e-9  # sequential competitive ratio <= stretch

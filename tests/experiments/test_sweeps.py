@@ -1,0 +1,80 @@
+"""Experiment-harness tests: theorem sweeps and ablations at small scale."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_protocol_ablation,
+    run_service_time_ablation,
+    run_tree_ablation,
+)
+from repro.experiments.competitive import run_async_comparison, run_competitive_sweep
+from repro.experiments.lowerbound_sweep import run_theorem41_sweep, run_theorem42_sweep
+
+
+def test_competitive_sweep_within_ceiling():
+    res = run_competitive_sweep([8, 16, 32], requests=25, seed=1)
+    hi = res.series_by_name("ratio (vs opt lower bd)").ys
+    ceil = res.series_by_name("O(s log D) ceiling").ys
+    assert all(h <= c for h, c in zip(hi, ceil))
+    lo = res.series_by_name("ratio (vs opt upper bd)").ys
+    assert all(l <= h for l, h in zip(lo, hi))
+    # lo may dip slightly below 1 (the heuristic upper bound overshoots
+    # the true optimum); it must stay positive and near-or-above 1.
+    assert all(l > 0.8 for l in lo)
+
+
+def test_async_comparison_costs_positive_and_bounded():
+    res = run_async_comparison([8, 16], requests=20, seed=2)
+    sync = res.series_by_name("sync total latency").ys
+    asyn = res.series_by_name("async total latency").ys
+    assert all(a > 0 for a in asyn)
+    # Hop-for-hop delays are <= 1, so async total is at most ~sync total
+    # plus reordering slack; sanity: within 2x.
+    assert all(a <= 2.0 * s + 1e-9 for a, s in zip(asyn, sync))
+
+
+def test_theorem41_sweep_layered_dominates_literal():
+    res = run_theorem41_sweep([16, 64, 256])
+    lit = res.series_by_name("literal construction").ys
+    lay = res.series_by_name("bitonic layered").ys
+    assert lay[-1] > lit[-1]
+    assert lay[-1] > lay[0] - 0.25  # non-degenerate growth trend
+
+
+def test_theorem42_sweep_ratio_scales_with_stretch():
+    res = run_theorem42_sweep([1, 2, 4], D_over_s=16)
+    ratios = res.series_by_name("measured ratio").ys
+    stretch = res.series_by_name("measured tree stretch").ys
+    assert stretch == [1.0, 2.0, 4.0]
+    assert ratios[2] >= 2.0 * ratios[0] - 1e-9
+
+
+def test_tree_ablation_lower_stretch_lower_cost():
+    res = run_tree_ablation(num_nodes=30, requests=80, seed=1)
+    stretch = res.series_by_name("stretch").ys
+    cost = res.series_by_name("arrow total latency").ys
+    # The min-stretch tree should not lose to the max-stretch tree.
+    best, worst = stretch.index(min(stretch)), stretch.index(max(stretch))
+    if stretch[best] < stretch[worst]:
+        assert cost[best] <= cost[worst] * 1.25
+
+
+def test_protocol_ablation_message_counts():
+    res = run_protocol_ablation(num_nodes=24, requests=120, seed=2)
+    msgs = res.series_by_name("messages/op").ys
+    arrow_bin, arrow_star, nta, central = msgs
+    # Centralized: <= 2 messages/op by construction; NTA compresses paths.
+    assert central <= 2.0 + 1e-9
+    assert nta <= arrow_bin + 2.0
+    assert all(m >= 0 for m in msgs)
+
+
+def test_service_time_ablation_widens_gap():
+    res = run_service_time_ablation(
+        num_procs=24, requests_per_proc=60, service_times=[0.0, 0.3]
+    )
+    a = res.series_by_name("arrow").ys
+    c = res.series_by_name("centralized").ys
+    gap_low = c[0] - a[0]
+    gap_high = c[1] - a[1]
+    assert gap_high > gap_low

@@ -1,0 +1,106 @@
+"""Unit tests for shortest paths vs networkx oracles."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    all_pairs_distances,
+    bfs_distances,
+    connected_components,
+    dijkstra,
+    eccentricity,
+    gnp_connected_graph,
+    graph_diameter,
+    grid_graph,
+    is_connected,
+    path_graph,
+    random_geometric_graph,
+    shortest_path,
+    single_source_distances,
+)
+
+
+def to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.num_nodes))
+    G.add_weighted_edges_from(g.edges())
+    return G
+
+
+def test_bfs_distances_on_path():
+    g = path_graph(6)
+    assert bfs_distances(g, 0) == [0, 1, 2, 3, 4, 5]
+
+
+def test_bfs_unreachable_is_inf():
+    g = Graph(3)
+    g.add_edge(0, 1)
+    assert math.isinf(bfs_distances(g, 0)[2])
+
+
+def test_dijkstra_matches_networkx_weighted():
+    g = random_geometric_graph(25, 0.35, seed=2, euclidean_weights=True)
+    G = to_nx(g)
+    dist, _ = dijkstra(g, 0)
+    want = nx.single_source_dijkstra_path_length(G, 0)
+    for v in range(25):
+        assert dist[v] == pytest.approx(want[v])
+
+
+def test_single_source_dispatches_by_weights():
+    g = path_graph(4)
+    assert single_source_distances(g, 0) == [0, 1, 2, 3]
+    g.add_edge(0, 3, 0.5)
+    assert single_source_distances(g, 0)[3] == 0.5
+
+
+def test_all_pairs_matrix_symmetric_and_correct():
+    g = grid_graph(3, 4)
+    M = all_pairs_distances(g)
+    G = to_nx(g)
+    want = dict(nx.all_pairs_shortest_path_length(G))
+    for u in range(12):
+        for v in range(12):
+            assert M[u, v] == want[u][v]
+            assert M[u, v] == M[v, u]
+
+
+def test_shortest_path_endpoints_and_length():
+    g = grid_graph(4, 4)
+    p = shortest_path(g, 0, 15)
+    assert p[0] == 0 and p[-1] == 15
+    assert len(p) - 1 == 6  # Manhattan distance in the mesh
+    for a, b in zip(p, p[1:]):
+        assert g.has_edge(a, b)
+
+
+def test_shortest_path_unreachable_raises():
+    g = Graph(3)
+    g.add_edge(0, 1)
+    with pytest.raises(GraphError):
+        shortest_path(g, 0, 2)
+
+
+def test_connected_components():
+    g = Graph(5)
+    g.add_edge(0, 1)
+    g.add_edge(2, 3)
+    comps = connected_components(g)
+    assert sorted(map(tuple, comps)) == [(0, 1), (2, 3), (4,)]
+    assert not is_connected(g)
+
+
+def test_eccentricity_and_diameter():
+    g = path_graph(7)
+    assert eccentricity(g, 0) == 6
+    assert eccentricity(g, 3) == 3
+    assert graph_diameter(g) == 6
+
+
+def test_diameter_matches_networkx_on_random_graph():
+    g = gnp_connected_graph(20, 0.2, seed=11)
+    assert graph_diameter(g) == nx.diameter(to_nx(g))

@@ -1,0 +1,51 @@
+"""Unit tests for the comb MST bound."""
+
+import pytest
+
+from repro.core.requests import RequestSchedule
+from repro.lowerbound.comb import comb_cost_bound_formula, comb_mst_weight, comb_order
+from repro.lowerbound.construction import theorem41_instance
+
+
+def test_comb_weight_hand_instance():
+    # Requests at nodes 2 (times 0, 3) and 5 (time 1): horizontal span
+    # 0..5 (root at 0) = 5; vertical extents 3 + 0.
+    sched = RequestSchedule([(2, 0.0), (5, 1.0), (2, 3.0)])
+    assert comb_mst_weight(sched, root_pos=0) == 5.0 + 3.0
+
+
+def test_comb_weight_empty():
+    assert comb_mst_weight(RequestSchedule([])) == 0.0
+
+
+def test_comb_weight_linear_in_d_on_theorem41():
+    for D in (16, 64, 256):
+        inst = theorem41_instance(D)
+        w = comb_mst_weight(inst.schedule)
+        assert w <= D + inst.k * (inst.k + 1) * 2 + 4 * D  # O(D)
+        assert w >= D  # the horizontal chain alone spans the path
+
+
+def test_comb_order_visits_every_request_once():
+    inst = theorem41_instance(16, 2)
+    order = comb_order(inst.schedule)
+    assert sorted(order) == [r.rid for r in inst.schedule]
+    # Grouped by node, ascending time inside each group.
+    prev = None
+    for rid in order:
+        r = inst.schedule.by_rid(rid)
+        if prev is not None and prev.node == r.node:
+            assert prev.time <= r.time
+        prev = r
+
+
+def test_formula_is_o_of_d_for_paper_k():
+    from repro.lowerbound.construction import default_k
+
+    for D in (2**8, 2**12, 2**16):
+        k = default_k(D)
+        assert comb_cost_bound_formula(D, k) <= 25.0 * D
+
+
+def test_formula_small_d_guard():
+    assert comb_cost_bound_formula(2, 2) == 2 + 2

@@ -1,0 +1,73 @@
+"""Unit tests for FIFO channel semantics."""
+
+from repro.net.channel import FifoChannel
+from repro.net.latency import UniformLatency, UnitLatency
+from repro.net.message import Message
+from repro.sim.kernel import Simulator
+from repro.sim.rng import spawn_rng
+
+
+def test_unit_latency_delivery_time():
+    sim = Simulator()
+    ch = FifoChannel(0, 1, 1.0)
+    got = []
+    at = ch.transmit(sim, UnitLatency(), spawn_rng(0, "t"), Message("m", 0, 1), got.append)
+    assert at == 1.0
+    sim.run()
+    assert len(got) == 1
+    assert sim.now == 1.0
+
+
+def test_fifo_clamps_overtaking_messages():
+    """A fast later message must not overtake a slow earlier one."""
+    sim = Simulator()
+    ch = FifoChannel(0, 1, 1.0)
+    rng = spawn_rng(3, "fifo")
+    order = []
+
+    class FirstSlow:
+        calls = 0
+        def sample(self, src, dst, w, rng):
+            FirstSlow.calls += 1
+            return 0.9 if FirstSlow.calls == 1 else 0.1
+        def max_delay(self, w):
+            return w
+        stochastic = True
+
+    m1 = Message("m1", 0, 1)
+    m2 = Message("m2", 0, 1)
+    ch.transmit(sim, FirstSlow(), rng, m1, lambda m: order.append((m.kind, sim.now)))
+    sim.call_at(0.2, lambda: ch.transmit(
+        sim, FirstSlow(), rng, m2, lambda m: order.append((m.kind, sim.now))
+    ))
+    sim.run()
+    assert [k for k, _ in order] == ["m1", "m2"]
+    # m2's natural arrival (0.3) was clamped to m1's arrival (0.9).
+    assert order[1][1] >= order[0][1]
+
+
+def test_fifo_many_random_messages_preserve_order():
+    sim = Simulator()
+    ch = FifoChannel(0, 1, 1.0)
+    rng = spawn_rng(9, "fifo-many")
+    model = UniformLatency(0.05, 1.0)
+    seen = []
+    for i in range(50):
+        msg = Message("m", 0, 1, {"i": i})
+        sim.call_at(i * 0.01, ch.transmit, sim, model, rng, msg,
+                    lambda m: seen.append(m.payload["i"]))
+    sim.run()
+    assert seen == list(range(50))
+
+
+def test_distinct_channels_do_not_interfere():
+    sim = Simulator()
+    a = FifoChannel(0, 1, 1.0)
+    b = FifoChannel(1, 0, 1.0)
+    times = {}
+    a.transmit(sim, UnitLatency(), spawn_rng(0, "x"), Message("a", 0, 1),
+               lambda m: times.setdefault("a", sim.now))
+    b.transmit(sim, UnitLatency(), spawn_rng(0, "y"), Message("b", 1, 0),
+               lambda m: times.setdefault("b", sim.now))
+    sim.run()
+    assert times == {"a": 1.0, "b": 1.0}

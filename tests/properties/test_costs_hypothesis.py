@@ -1,0 +1,75 @@
+"""Property-based tests for the cost measures' algebraic structure."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.costs import c_m_matrix, c_o_matrix, c_t_matrix
+
+
+@st.composite
+def positions_times(draw, max_m=12):
+    """Random 1-D positions (a path metric) and times."""
+    m = draw(st.integers(min_value=2, max_value=max_m))
+    pos = np.array(
+        [draw(st.integers(min_value=0, max_value=50)) for _ in range(m)],
+        dtype=float,
+    )
+    times = np.array(
+        [
+            draw(st.floats(min_value=0.0, max_value=40.0, allow_nan=False))
+            for _ in range(m)
+        ]
+    )
+    D = np.abs(pos[:, None] - pos[None, :])
+    return D, times
+
+
+@given(positions_times())
+@settings(max_examples=80, deadline=None)
+def test_c_m_is_a_metric(dt):
+    D, times = dt
+    CM = c_m_matrix(D, times)
+    m = len(times)
+    assert np.allclose(CM, CM.T)
+    assert np.allclose(np.diag(CM), 0.0)
+    for k in range(m):
+        via = CM[:, k][:, None] + CM[k, :][None, :]
+        assert np.all(CM <= via + 1e-9)
+
+
+@given(positions_times())
+@settings(max_examples=80, deadline=None)
+def test_c_t_dominated_by_c_m_and_nonnegative(dt):
+    D, times = dt
+    CT = c_t_matrix(D, times)
+    CM = c_m_matrix(D, times)
+    assert np.all(CT >= -1e-12)
+    assert np.all(CT <= CM + 1e-9)
+
+
+@given(positions_times())
+@settings(max_examples=80, deadline=None)
+def test_c_o_between_distance_and_manhattan(dt):
+    D, times = dt
+    CO = c_o_matrix(D, times)
+    CM = c_m_matrix(D, times)
+    assert np.all(CO >= D - 1e-9)
+    assert np.all(CO <= CM + 1e-9)
+
+
+@given(positions_times())
+@settings(max_examples=80, deadline=None)
+def test_lemma_3_15_pointwise_inequality(dt):
+    """c_O >= (D + max(0, t_i - t_j)) / 2 — the proof's eq. (8)."""
+    D, times = dt
+    CO = c_o_matrix(D, times)
+    bound = (D + np.maximum(0.0, times[:, None] - times[None, :])) / 2.0
+    assert np.all(CO >= bound - 1e-9)
+
+
+@given(positions_times())
+@settings(max_examples=60, deadline=None)
+def test_c_t_diag_zero(dt):
+    D, times = dt
+    CT = c_t_matrix(D, times)
+    assert np.allclose(np.diag(CT), 0.0)

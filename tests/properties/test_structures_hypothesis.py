@@ -1,0 +1,98 @@
+"""Property-based tests for the substrate data structures."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph, bfs_distances
+from repro.sim.events import EventQueue
+from repro.spanning import SpanningTree, UnionFind
+
+
+@st.composite
+def parent_array(draw, max_nodes=14):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    parent = [0] * n
+    for i in range(1, n):
+        parent[i] = draw(st.integers(min_value=0, max_value=i - 1))
+    return parent
+
+
+@given(parent_array())
+@settings(max_examples=80, deadline=None)
+def test_lca_distance_matches_bfs(parent):
+    tree = SpanningTree(parent, root=0)
+    g = tree.to_graph()
+    n = len(parent)
+    for src in range(0, n, max(1, n // 3)):
+        oracle = bfs_distances(g, src)
+        for v in range(n):
+            assert tree.hop_distance(src, v) == oracle[v]
+
+
+@given(parent_array())
+@settings(max_examples=60, deadline=None)
+def test_tree_path_is_simple_and_adjacent(parent):
+    tree = SpanningTree(parent, root=0)
+    n = len(parent)
+    u, v = 0, n - 1
+    path = tree.path(u, v)
+    assert path[0] == u and path[-1] == v
+    assert len(set(path)) == len(path)
+    for a, b in zip(path, path[1:]):
+        assert tree.parent[a] == b or tree.parent[b] == a
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 19), st.integers(0, 19)), min_size=0, max_size=40
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_union_find_matches_naive_partition(unions):
+    uf = UnionFind(20)
+    naive = {i: {i} for i in range(20)}
+    for a, b in unions:
+        uf.union(a, b)
+        sa, sb = naive[a], naive[b]
+        if sa is not sb:
+            merged = sa | sb
+            for x in merged:
+                naive[x] = merged
+    for a in range(20):
+        for b in range(20):
+            assert (uf.find(a) == uf.find(b)) == (naive[a] is naive[b])
+    assert uf.components == len({id(s) for s in naive.values()})
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.integers(0, 3),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_event_queue_pops_in_total_order(items):
+    q = EventQueue()
+    for t, prio in items:
+        q.push(t, lambda: None, priority=prio)
+    popped = []
+    while q:
+        ev = q.pop()
+        popped.append((ev.time, ev.priority, ev.seq))
+    assert popped == sorted(popped)
+
+
+@given(parent_array(max_nodes=12))
+@settings(max_examples=40, deadline=None)
+def test_reroot_preserves_tree_metric(parent):
+    tree = SpanningTree(parent, root=0)
+    n = len(parent)
+    other = tree.reroot(n - 1)
+    for u in range(n):
+        for v in range(n):
+            assert tree.hop_distance(u, v) == other.hop_distance(u, v)

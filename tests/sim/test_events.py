@@ -1,0 +1,98 @@
+"""Unit tests for the event queue: ordering, ties, cancellation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_DEFAULT, PRIORITY_LATE, EventQueue
+
+
+def test_pop_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, fired.append, ("c",))
+    q.push(1.0, fired.append, ("a",))
+    q.push(2.0, fired.append, ("b",))
+    while q:
+        ev = q.pop()
+        ev.fn(*ev.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_fires_in_scheduling_order():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.push(5.0, order.append, (i,))
+    while q:
+        ev = q.pop()
+        ev.fn(*ev.args)
+    assert order == list(range(10))
+
+
+def test_priority_orders_within_same_time():
+    q = EventQueue()
+    out = []
+    q.push(1.0, out.append, ("late",), priority=PRIORITY_LATE)
+    q.push(1.0, out.append, ("default",), priority=PRIORITY_DEFAULT)
+    while q:
+        ev = q.pop()
+        ev.fn(*ev.args)
+    assert out == ["default", "late"]
+
+
+def test_cancelled_event_is_skipped():
+    q = EventQueue()
+    out = []
+    ev = q.push(1.0, out.append, ("x",))
+    q.push(2.0, out.append, ("y",))
+    ev.cancel()
+    q.note_cancelled()
+    assert len(q) == 1
+    got = q.pop()
+    got.fn(*got.args)
+    assert out == ["y"]
+
+
+def test_pop_empty_raises():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.pop()
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(4.0, lambda: None)
+    ev.cancel()
+    q.note_cancelled()
+    assert q.peek_time() == 4.0
+
+
+def test_peek_empty_raises():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.peek_time()
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_len_tracks_live_events():
+    q = EventQueue()
+    evs = [q.push(float(i), lambda: None) for i in range(5)]
+    assert len(q) == 5
+    evs[2].cancel()
+    q.note_cancelled()
+    assert len(q) == 4
+    q.pop()
+    assert len(q) == 3
+
+
+def test_bool_conversion():
+    q = EventQueue()
+    assert not q
+    q.push(0.0, lambda: None)
+    assert q

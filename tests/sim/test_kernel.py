@@ -1,0 +1,123 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_run_advances_clock_to_last_event():
+    sim = Simulator()
+    sim.call_at(7.5, lambda: None)
+    assert sim.run() == 7.5
+    assert sim.now == 7.5
+
+
+def test_call_in_is_relative():
+    sim = Simulator()
+    seen = []
+    def later():
+        seen.append(sim.now)
+        if len(seen) < 3:
+            sim.call_in(2.0, later)
+    sim.call_in(1.0, later)
+    sim.run()
+    assert seen == [1.0, 3.0, 5.0]
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.call_at(5.0, lambda: sim.call_at(1.0, lambda: None))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-1.0, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.call_at(1.0, fired.append, 1)
+    sim.call_at(5.0, fired.append, 5)
+    sim.run(until=3.0)
+    assert fired == [1]
+    assert sim.now == 3.0
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_includes_boundary_events():
+    sim = Simulator()
+    fired = []
+    sim.call_at(3.0, fired.append, 3)
+    sim.run(until=3.0)
+    assert fired == [3]
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.call_at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_fired == 4
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    ev = sim.call_at(1.0, fired.append, "x")
+    sim.cancel(ev)
+    sim.run()
+    assert fired == []
+    assert sim.pending == 0
+
+
+def test_cancel_twice_is_safe():
+    sim = Simulator()
+    ev = sim.call_at(1.0, lambda: None)
+    sim.cancel(ev)
+    sim.cancel(ev)
+    assert sim.pending == 0
+
+
+def test_max_events_guard_detects_livelock():
+    sim = Simulator(max_events=100)
+    def spin():
+        sim.call_in(0.0, spin)
+    sim.call_at(0.0, spin)
+    with pytest.raises(SimulationError, match="livelock"):
+        sim.run()
+
+
+def test_handler_exceptions_propagate():
+    sim = Simulator()
+    def boom():
+        raise ValueError("boom")
+    sim.call_at(1.0, boom)
+    with pytest.raises(ValueError):
+        sim.run()
+    # The simulator is usable again after the failure.
+    sim.call_at(2.0, lambda: None)
+    sim.run()
+
+
+def test_zero_delay_event_runs_at_same_instant_after_current():
+    sim = Simulator()
+    seq = []
+    def first():
+        seq.append(("first", sim.now))
+        sim.call_in(0.0, second)
+    def second():
+        seq.append(("second", sim.now))
+    sim.call_at(2.0, first)
+    sim.run()
+    assert seq == [("first", 2.0), ("second", 2.0)]

@@ -1,0 +1,42 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import NullTracer, Tracer
+
+
+def test_emit_records_and_counts():
+    tr = Tracer()
+    tr.emit(1.0, "send", src=0, dst=1)
+    tr.emit(2.0, "send", src=1, dst=2)
+    tr.emit(2.0, "deliver", src=0, dst=1)
+    assert tr.counts["send"] == 2
+    assert tr.counts["deliver"] == 1
+    assert len(tr.records) == 3
+    assert tr.records[0].payload["src"] == 0
+
+
+def test_disabled_tracer_keeps_counts_only():
+    tr = Tracer(enabled=False)
+    tr.emit(1.0, "send")
+    assert tr.counts["send"] == 1
+    assert tr.records == []
+
+
+def test_of_kind_filters():
+    tr = Tracer()
+    tr.emit(1.0, "a")
+    tr.emit(2.0, "b")
+    tr.emit(3.0, "a")
+    assert [r.time for r in tr.of_kind("a")] == [1.0, 3.0]
+
+
+def test_clear_resets_everything():
+    tr = Tracer()
+    tr.emit(1.0, "a")
+    tr.clear()
+    assert not tr.records and not tr.counts
+
+
+def test_null_tracer_drops_everything():
+    tr = NullTracer()
+    tr.emit(1.0, "send")
+    assert not tr.records and not tr.counts

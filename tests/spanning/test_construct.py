@@ -1,0 +1,129 @@
+"""Unit tests for spanning-tree constructions (networkx MST as oracle)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError, TreeError
+from repro.graphs import Graph, complete_graph, grid_graph, random_geometric_graph
+from repro.spanning import (
+    UnionFind,
+    balanced_binary_overlay,
+    bfs_tree,
+    mst_kruskal,
+    mst_prim,
+    random_spanning_tree,
+    star_overlay,
+)
+
+
+def to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(range(g.num_nodes))
+    G.add_weighted_edges_from(g.edges())
+    return G
+
+
+def tree_weight(t):
+    return sum(w for _, _, w in t.edges())
+
+
+@pytest.fixture
+def weighted_graph():
+    return random_geometric_graph(30, 0.35, seed=4, euclidean_weights=True)
+
+
+def test_mst_prim_matches_networkx_weight(weighted_graph):
+    ours = tree_weight(mst_prim(weighted_graph, 0))
+    theirs = nx.minimum_spanning_tree(to_nx(weighted_graph)).size(weight="weight")
+    assert ours == pytest.approx(theirs)
+
+
+def test_mst_kruskal_matches_prim(weighted_graph):
+    assert tree_weight(mst_kruskal(weighted_graph, 0)) == pytest.approx(
+        tree_weight(mst_prim(weighted_graph, 0))
+    )
+
+
+def test_mst_on_disconnected_raises():
+    g = Graph(4)
+    g.add_edge(0, 1)
+    with pytest.raises(GraphError):
+        mst_prim(g, 0)
+    with pytest.raises(GraphError):
+        mst_kruskal(g, 0)
+
+
+def test_bfs_tree_preserves_root_distances():
+    g = grid_graph(5, 5)
+    t = bfs_tree(g, 12)
+    from repro.graphs import bfs_distances
+
+    oracle = bfs_distances(g, 12)
+    for v in range(25):
+        assert t.distance(12, v) == oracle[v]
+
+
+def test_bfs_tree_disconnected_raises():
+    g = Graph(3)
+    g.add_edge(0, 1)
+    with pytest.raises(GraphError):
+        bfs_tree(g, 0)
+
+
+def test_balanced_overlay_depth_is_logarithmic():
+    g = complete_graph(31)
+    t = balanced_binary_overlay(g, root=0)
+    assert max(t.depth) == 4  # log2(32) - 1
+
+
+def test_balanced_overlay_respects_root():
+    g = complete_graph(8)
+    t = balanced_binary_overlay(g, root=5)
+    assert t.root == 5
+    assert t.depth[5] == 0
+
+
+def test_balanced_overlay_requires_edges():
+    from repro.graphs import path_graph
+
+    with pytest.raises(TreeError):
+        balanced_binary_overlay(path_graph(7), root=0)
+
+
+def test_star_overlay():
+    g = complete_graph(6)
+    t = star_overlay(g, center=2)
+    assert t.root == 2
+    assert all(t.distance(2, v) == 1 for v in range(6) if v != 2)
+    from repro.graphs import path_graph
+
+    with pytest.raises(TreeError):
+        star_overlay(path_graph(5), center=0)
+
+
+def test_random_spanning_tree_valid_and_deterministic():
+    g = grid_graph(5, 5)
+    t1 = random_spanning_tree(g, 0, seed=9)
+    t2 = random_spanning_tree(g, 0, seed=9)
+    assert t1.parent == t2.parent
+    # Every tree edge must be a graph edge.
+    for u, v, _ in t1.edges():
+        assert g.has_edge(u, v)
+
+
+def test_random_spanning_trees_vary_with_seed():
+    g = grid_graph(5, 5)
+    trees = {tuple(random_spanning_tree(g, 0, seed=s).parent) for s in range(6)}
+    assert len(trees) > 1
+
+
+def test_union_find_basics():
+    uf = UnionFind(5)
+    assert uf.union(0, 1)
+    assert not uf.union(1, 0)
+    assert uf.find(0) == uf.find(1)
+    assert uf.components == 4
+    uf.union(2, 3)
+    uf.union(0, 3)
+    assert uf.find(2) == uf.find(1)
+    assert uf.components == 2

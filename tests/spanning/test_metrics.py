@@ -1,0 +1,114 @@
+"""Unit tests for tree quality metrics: stretch, diameter, radius, center."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+)
+from repro.spanning import (
+    SpanningTree,
+    average_stretch,
+    balanced_binary_overlay,
+    bfs_tree,
+    mst_prim,
+    star_overlay,
+    tree_center,
+    tree_diameter,
+    tree_radius,
+    tree_stretch,
+    tree_stretch_brute_force,
+)
+
+
+def test_stretch_of_path_in_itself_is_one():
+    g = path_graph(8)
+    t = SpanningTree([max(0, i - 1) for i in range(8)], root=0)
+    assert tree_stretch(g, t).stretch == 1.0
+
+
+def test_stretch_of_cycle_spanning_path():
+    # Dropping one edge of C_n forces stretch n-1 across that edge.
+    g = cycle_graph(8)
+    t = SpanningTree([max(0, i - 1) for i in range(8)], root=0)
+    rep = tree_stretch(g, t)
+    assert rep.stretch == 7.0
+    assert sorted(rep.witness) == [0, 7]
+
+
+def test_stretch_edge_scan_matches_brute_force():
+    for seed in range(3):
+        g = random_geometric_graph(25, 0.35, seed=seed)
+        t = mst_prim(g, 0)
+        assert tree_stretch(g, t).stretch == pytest.approx(
+            tree_stretch_brute_force(g, t)
+        )
+
+
+def test_stretch_detects_foreign_tree_edges():
+    from repro.errors import TreeError
+
+    g = path_graph(4)
+    bad = SpanningTree([0, 0, 0, 0], root=0)  # star edges not in the path
+    with pytest.raises(TreeError):
+        tree_stretch(g, bad)
+
+
+def test_star_overlay_stretch_on_complete_graph():
+    g = complete_graph(10)
+    t = star_overlay(g, 0)
+    assert tree_stretch(g, t).stretch == 2.0  # leaf-to-leaf via centre
+
+
+def test_balanced_overlay_stretch_equals_leaf_pair_depth():
+    g = complete_graph(15)
+    t = balanced_binary_overlay(g, 0)
+    assert tree_stretch(g, t).stretch == tree_diameter(t)
+
+
+def test_average_stretch_at_most_max():
+    g = random_geometric_graph(20, 0.4, seed=1)
+    t = mst_prim(g, 0)
+    assert 1.0 <= average_stretch(g, t) <= tree_stretch(g, t).stretch
+
+
+def test_diameter_of_chain_and_star():
+    chain = SpanningTree([max(0, i - 1) for i in range(9)], root=0)
+    assert tree_diameter(chain) == 8.0
+    star = SpanningTree([0] + [0] * 8, root=0)
+    assert tree_diameter(star) == 2.0
+
+
+def test_diameter_matches_networkx_on_random_trees():
+    for seed in range(3):
+        g = random_geometric_graph(30, 0.3, seed=seed)
+        t = bfs_tree(g, 0)
+        G = nx.Graph()
+        G.add_nodes_from(range(30))
+        G.add_edges_from((u, v) for u, v, _ in t.edges())
+        assert tree_diameter(t) == nx.diameter(G)
+
+
+def test_weighted_diameter():
+    t = SpanningTree([0, 0, 1], root=0, edge_weights=[0, 2.0, 5.0])
+    assert tree_diameter(t) == 7.0
+
+
+def test_radius_and_center_of_chain():
+    chain = SpanningTree([max(0, i - 1) for i in range(9)], root=0)
+    center, ecc = tree_center(chain)
+    assert center == 4
+    assert ecc == 4.0
+    assert tree_radius(chain) == 4.0
+
+
+def test_radius_le_diameter_le_twice_radius():
+    for seed in range(3):
+        g = grid_graph(4, 6)
+        t = bfs_tree(g, seed)
+        r, d = tree_radius(t), tree_diameter(t)
+        assert r <= d <= 2 * r

@@ -1,0 +1,95 @@
+"""Unit tests for the closed-loop driver (§5 measurement loop)."""
+
+import pytest
+
+from repro.graphs import complete_graph
+from repro.spanning import balanced_binary_overlay
+from repro.workloads.closed_loop import closed_loop_arrow, closed_loop_centralized
+
+
+@pytest.fixture
+def k8():
+    g = complete_graph(8)
+    return g, balanced_binary_overlay(g, root=0)
+
+
+def test_all_requests_complete(k8):
+    g, tree = k8
+    res = closed_loop_arrow(g, tree, requests_per_proc=20)
+    assert res.completions == 8 * 20
+    assert len(res.hops) == 160
+    assert res.total_requests == 160
+
+
+def test_makespan_positive_and_bounded(k8):
+    g, tree = k8
+    res = closed_loop_arrow(g, tree, requests_per_proc=10, think_time=0.1)
+    assert 0 < res.makespan
+    # Each op takes at most diameter + reply + think: crude sanity ceiling.
+    assert res.makespan < 10 * (6 + 1 + 0.1) * 8
+
+
+def test_centralized_two_messages_per_remote_op(k8):
+    g, _ = k8
+    res = closed_loop_centralized(g, 0, requests_per_proc=10)
+    remote_ops = 7 * 10  # processors other than the centre
+    local_ops = 10
+    assert res.completions == 80
+    assert res.messages_sent == 2 * remote_ops + local_ops
+
+
+def test_arrow_mean_hops_below_tree_diameter(k8):
+    g, tree = k8
+    res = closed_loop_arrow(g, tree, requests_per_proc=40, think_time=0.1)
+    assert res.mean_hops < 4.0  # diameter of the 8-node binary overlay
+    assert 0.0 <= res.local_find_fraction <= 1.0
+
+
+def test_think_time_slows_the_loop(k8):
+    g, tree = k8
+    fast = closed_loop_arrow(g, tree, requests_per_proc=15, think_time=0.0)
+    slow = closed_loop_arrow(g, tree, requests_per_proc=15, think_time=2.0)
+    assert slow.makespan > fast.makespan
+
+
+def test_deterministic_given_seed(k8):
+    g, tree = k8
+    a = closed_loop_arrow(g, tree, requests_per_proc=12, seed=5)
+    b = closed_loop_arrow(g, tree, requests_per_proc=12, seed=5)
+    assert a.makespan == b.makespan
+    assert a.hops == b.hops
+
+
+def test_single_processor_degenerate_case():
+    g = complete_graph(2)
+    tree = balanced_binary_overlay(g, 0)
+    res = closed_loop_arrow(g, tree, requests_per_proc=5)
+    assert res.completions == 10
+
+
+def test_centralized_saturates_with_service_time():
+    """The centre's utilisation drives the §5 linear slowdown."""
+    small = complete_graph(8)
+    big = complete_graph(32)
+    r_small = closed_loop_centralized(
+        small, 0, requests_per_proc=30, service_time=0.2, think_time=0.2
+    )
+    r_big = closed_loop_centralized(
+        big, 0, requests_per_proc=30, service_time=0.2, think_time=0.2
+    )
+    # 4x the processors -> substantially more total time (near-linear).
+    assert r_big.makespan > 2.0 * r_small.makespan
+
+
+def test_arrow_scales_sublinearly_with_system_size():
+    small = complete_graph(8)
+    big = complete_graph(32)
+    t_small = balanced_binary_overlay(small, 0)
+    t_big = balanced_binary_overlay(big, 0)
+    r_small = closed_loop_arrow(
+        small, t_small, requests_per_proc=30, service_time=0.2, think_time=0.2
+    )
+    r_big = closed_loop_arrow(
+        big, t_big, requests_per_proc=30, service_time=0.2, think_time=0.2
+    )
+    assert r_big.makespan < 2.0 * r_small.makespan

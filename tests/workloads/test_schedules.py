@@ -1,0 +1,77 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.workloads.schedules import (
+    bursty,
+    hotspot,
+    one_shot,
+    poisson,
+    random_times,
+    sequential,
+)
+
+
+def test_one_shot_all_at_zero():
+    s = one_shot([3, 1, 4])
+    assert all(r.time == 0.0 for r in s)
+    assert sorted(r.node for r in s) == [1, 3, 4]
+
+
+def test_sequential_spacing():
+    s = sequential([0, 1, 2], gap=5.0, start=1.0)
+    assert s.times == [1.0, 6.0, 11.0]
+    with pytest.raises(ScheduleError):
+        sequential([0], gap=0.0)
+
+
+def test_poisson_count_rate_and_determinism():
+    a = poisson(10, 50, rate=2.0, seed=3)
+    b = poisson(10, 50, rate=2.0, seed=3)
+    assert len(a) == 50
+    assert a.times == b.times and a.nodes == b.nodes
+    # Mean inter-arrival should be near 1/rate.
+    gaps = [t2 - t1 for t1, t2 in zip(a.times, a.times[1:])]
+    assert 0.2 < sum(gaps) / len(gaps) < 1.2
+    with pytest.raises(ScheduleError):
+        poisson(10, 5, rate=0.0)
+
+
+def test_poisson_restricted_node_pool():
+    s = poisson(10, 30, rate=1.0, seed=1, nodes=[2, 7])
+    assert set(s.nodes) <= {2, 7}
+
+
+def test_bursty_structure():
+    s = bursty(8, bursts=3, burst_size=5, burst_span=2.0, idle_gap=20.0, seed=2)
+    assert len(s) == 15
+    times = s.times
+    # Requests cluster in three windows separated by > idle_gap/2.
+    assert max(times) >= 2 * (2.0 + 20.0)
+    with pytest.raises(ScheduleError):
+        bursty(8, 1, 1, -1.0, 0.0)
+
+
+def test_hotspot_bias():
+    s = hotspot(20, 300, rate=5.0, hot_nodes=[0, 1], hot_fraction=0.9, seed=4)
+    hot = sum(1 for n in s.nodes if n in (0, 1))
+    assert hot > 200
+    with pytest.raises(ScheduleError):
+        hotspot(20, 10, 1.0, [], 0.5)
+    with pytest.raises(ScheduleError):
+        hotspot(20, 10, 1.0, [0], 1.5)
+
+
+def test_random_times_continuous_vs_integer():
+    c = random_times(10, 40, horizon=20.0, seed=5)
+    d = random_times(10, 40, horizon=20.0, seed=5, continuous=False)
+    assert any(t != int(t) for t in c.times)
+    assert all(t == int(t) for t in d.times)
+    assert all(0 <= t <= 20.0 for t in c.times)
+
+
+def test_random_times_deterministic():
+    a = random_times(10, 20, horizon=5.0, seed=8)
+    b = random_times(10, 20, horizon=5.0, seed=8)
+    assert a.times == b.times and a.nodes == b.nodes
