@@ -20,8 +20,8 @@ from dataclasses import dataclass
 
 from repro.analysis.nearest_neighbor import predict_arrow_run
 from repro.analysis.optimal import OptBounds, opt_bounds
+from repro.core.fast_arrow import arrow_runner
 from repro.core.requests import RequestSchedule
-from repro.core.runner import run_arrow
 from repro.errors import AnalysisError
 from repro.graphs.graph import Graph
 from repro.net.latency import LatencyModel
@@ -65,23 +65,35 @@ def measure_competitive_ratio(
     latency: LatencyModel | None = None,
     seed: int = 0,
     exact_limit: int = 12,
+    engine: str = "message",
+    arrow_cost: float | None = None,
 ) -> CompetitiveReport:
     """Measure arrow's competitive ratio bracket on one instance.
 
-    With ``simulate`` the arrow cost comes from the message-level run
-    (ground truth, required for asynchronous latency models); otherwise
+    With ``simulate`` the arrow cost comes from a simulator run — the
+    message-level ground truth or, with ``engine="fast"``, the
+    bit-identical :class:`~repro.core.fast_arrow.FastArrowEngine`
+    (required for asynchronous latency models either way); otherwise
     from the fast NN executor (synchronous model only — a
     :class:`AnalysisError` is raised if a latency model is supplied).
+    A caller that already *simulated* the instance can pass its
+    ``arrow_cost`` to skip the redundant rerun; the report then counts as
+    simulated regardless of the ``simulate`` flag.
     """
     if len(schedule) == 0:
         raise AnalysisError("cannot measure a ratio on an empty schedule")
-    if simulate:
-        result = run_arrow(graph, tree, schedule, latency=latency, seed=seed)
-        arrow_cost = result.total_latency
+    if not simulate and latency is not None:
+        raise AnalysisError("fast executor models synchronous latency only")
+    if arrow_cost is None:
+        if simulate:
+            runner = arrow_runner(engine)
+            result = runner(graph, tree, schedule, latency=latency, seed=seed)
+            arrow_cost = result.total_latency
+        else:
+            arrow_cost = predict_arrow_run(tree, schedule).arrow_cost
+        simulated = simulate
     else:
-        if latency is not None:
-            raise AnalysisError("fast executor models synchronous latency only")
-        arrow_cost = predict_arrow_run(tree, schedule).arrow_cost
+        simulated = True
 
     stretch = tree_stretch(graph, tree).stretch
     diameter = tree_diameter(tree)
@@ -95,5 +107,5 @@ def measure_competitive_ratio(
         stretch=stretch,
         diameter=diameter,
         ceiling=theorem_319_ceiling(stretch, diameter),
-        simulated=simulate,
+        simulated=simulated,
     )

@@ -190,7 +190,7 @@ def arrow_directory(
         rid = counter[0]
         counter[0] += 1
         _owner[rid] = proc
-        nodes[proc].initiate(rid, sim.now)
+        nodes[proc].initiate(rid)
 
     def driver(proc: int) -> None:
         result.makespan = sim.now
@@ -230,7 +230,7 @@ class _HomeDirectoryNode(ProtocolNode):
         self.busy = False
         self.queue: list[int] = []
 
-    def initiate(self, proc_unused: int, when_unused: float) -> None:
+    def initiate(self) -> None:
         """Request the object: one routed message to the home."""
         self.send_routed("dreq", self.home, origin=self.node_id)
 
@@ -316,7 +316,7 @@ def home_directory(
         if remaining[proc] <= 0:
             return
         remaining[proc] -= 1
-        nodes[proc].initiate(proc, sim.now)
+        nodes[proc].initiate()
 
     def driver(proc: int) -> None:
         result.makespan = sim.now

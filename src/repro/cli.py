@@ -72,28 +72,42 @@ def main(argv: list[str] | None = None) -> int:
     p10.add_argument("--service-time", type=float, default=0.1)
     p10.add_argument("--think-time", type=float, default=0.1)
     p10.add_argument("--seed", type=int, default=0)
+    p10.add_argument("--workers", type=int, default=1)
 
     p11 = sub.add_parser("fig11", help="arrow hops per operation")
     p11.add_argument("--procs", type=_int_list, default=None)
     p11.add_argument("--requests-per-proc", type=int, default=300)
     p11.add_argument("--seed", type=int, default=0)
+    p11.add_argument("--engine", choices=["message", "fast"], default="message")
+    p11.add_argument("--workers", type=int, default=1)
 
     p9 = sub.add_parser("fig9", help="lower-bound instance picture + costs")
     p9.add_argument("-D", type=int, default=64)
     p9.add_argument("-k", type=int, default=4)
     p9.add_argument("--variant", choices=["literal", "layered"], default="layered")
+    p9.add_argument("--engine", choices=["fast", "message"], default=None,
+                    help="also simulate the instance on this arrow engine")
 
     p319 = sub.add_parser("thm319", help="competitive ratio sweep (sync)")
     p319.add_argument("--diameters", type=_int_list, default=None)
     p319.add_argument("--requests", type=int, default=60)
+    p319.add_argument("--engine", choices=["message", "fast"], default="message")
+    p319.add_argument("--workers", type=int, default=1)
 
     p321 = sub.add_parser("thm321", help="asynchronous comparison")
     p321.add_argument("--diameters", type=_int_list, default=None)
     p321.add_argument("--requests", type=int, default=60)
+    p321.add_argument("--engine", choices=["message", "fast"], default="message")
+    p321.add_argument("--workers", type=int, default=1)
 
-    sub.add_parser("thm41", help="lower-bound ratio growth sweep")
+    p41 = sub.add_parser("thm41", help="lower-bound ratio growth sweep")
+    p41.add_argument("--engine", choices=["fast", "message"], default=None,
+                     help="also report the simulated execution's ratio")
+    p41.add_argument("--workers", type=int, default=1)
     p42 = sub.add_parser("thm42", help="lower bound vs stretch")
     p42.add_argument("--stretches", type=_int_list, default=None)
+    p42.add_argument("--engine", choices=["fast", "message"], default=None)
+    p42.add_argument("--workers", type=int, default=1)
 
     pdir = sub.add_parser("directory", help="arrow vs home-based directory (5.1)")
     pdir.add_argument("--procs", type=_int_list, default=None)
@@ -103,6 +117,24 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("sequential", help="sequential-regime baseline checks")
     sub.add_parser("ablations", help="tree/protocol/service-time ablations")
     sub.add_parser("all", help="run every experiment at default scale")
+
+    psw = sub.add_parser(
+        "sweep", help="declarative parameter sweep over graphs/trees/schedules"
+    )
+    psw.add_argument(
+        "--grid", choices=["fig11", "mixed", "smoke"], default="smoke",
+        help="named grid preset",
+    )
+    psw.add_argument("--sizes", type=_int_list, default=None,
+                     help="system sizes (fig11 grid only)")
+    psw.add_argument("--per-node", type=int, default=None,
+                     help="requests per node (fig11 grid only)")
+    psw.add_argument("--seeds", type=_int_list, default=None)
+    psw.add_argument("--engine", choices=["fast", "message"], default="fast")
+    psw.add_argument("--workers", type=int, default=1)
+    psw.add_argument("--out", default="sweep.jsonl", help="JSONL output path")
+    psw.add_argument("--no-resume", action="store_true",
+                     help="discard existing rows instead of resuming")
 
     args = top.parse_args(argv)
 
@@ -115,17 +147,26 @@ def main(argv: list[str] | None = None) -> int:
                     service_time=args.service_time,
                     think_time=args.think_time,
                     seed=args.seed,
+                    workers=args.workers,
                 )
             ],
             args,
         )
     elif args.cmd == "fig11":
         _emit(
-            [run_fig11(args.procs, requests_per_proc=args.requests_per_proc, seed=args.seed)],
+            [
+                run_fig11(
+                    args.procs,
+                    requests_per_proc=args.requests_per_proc,
+                    seed=args.seed,
+                    engine=args.engine,
+                    workers=args.workers,
+                )
+            ],
             args,
         )
     elif args.cmd == "fig9":
-        rep = run_fig9(args.D, args.k, variant=args.variant)
+        rep = run_fig9(args.D, args.k, variant=args.variant, engine=args.engine)
         print(rep.picture)
         print()
         print(
@@ -141,18 +182,46 @@ def main(argv: list[str] | None = None) -> int:
                     "opt lower bound": rep.opt_lower,
                     "comb Manhattan weight": rep.comb_weight,
                     "measured ratio": round(rep.ratio, 3),
+                    **(
+                        {f"simulated cost ({args.engine})": rep.sim_cost}
+                        if rep.sim_cost is not None
+                        else {}
+                    ),
                 },
                 title="fig9",
             )
         )
     elif args.cmd == "thm319":
-        _emit([run_competitive_sweep(args.diameters, requests=args.requests)], args)
+        _emit(
+            [
+                run_competitive_sweep(
+                    args.diameters,
+                    requests=args.requests,
+                    engine=args.engine,
+                    workers=args.workers,
+                )
+            ],
+            args,
+        )
     elif args.cmd == "thm321":
-        _emit([run_async_comparison(args.diameters, requests=args.requests)], args)
+        _emit(
+            [
+                run_async_comparison(
+                    args.diameters,
+                    requests=args.requests,
+                    engine=args.engine,
+                    workers=args.workers,
+                )
+            ],
+            args,
+        )
     elif args.cmd == "thm41":
-        _emit([run_theorem41_sweep()], args)
+        _emit([run_theorem41_sweep(engine=args.engine, workers=args.workers)], args)
     elif args.cmd == "thm42":
-        _emit([run_theorem42_sweep(args.stretches)], args)
+        _emit(
+            [run_theorem42_sweep(args.stretches, engine=args.engine, workers=args.workers)],
+            args,
+        )
     elif args.cmd == "directory":
         _emit(
             [
@@ -170,6 +239,33 @@ def main(argv: list[str] | None = None) -> int:
         _emit(
             [run_tree_ablation(), run_protocol_ablation(), run_service_time_ablation()],
             args,
+        )
+    elif args.cmd == "sweep":
+        from repro.sweep import fig11_grid, mixed_grid, run_sweep, smoke_grid
+
+        if args.grid != "fig11" and (args.sizes or args.per_node is not None):
+            psw.error("--sizes/--per-node only apply to --grid fig11")
+        # Omitted flags fall through to the preset's own defaults.
+        kwargs: dict = {"engine": args.engine}
+        if args.seeds:
+            kwargs["seeds"] = tuple(args.seeds)
+        if args.grid == "fig11":
+            if args.sizes:
+                kwargs["sizes"] = tuple(args.sizes)
+            if args.per_node is not None:
+                kwargs["per_node"] = args.per_node
+            spec = fig11_grid(**kwargs)
+        elif args.grid == "mixed":
+            spec = mixed_grid(**kwargs)
+        else:
+            spec = smoke_grid(**kwargs)
+        summary = run_sweep(
+            spec, args.out, workers=args.workers, resume=not args.no_resume
+        )
+        print(
+            f"sweep {summary['spec']}: {summary['written']} written, "
+            f"{summary['skipped']} skipped of {summary['cells']} cells "
+            f"-> {summary['path']}"
         )
     elif args.cmd == "all":
         _emit(

@@ -3,6 +3,7 @@
 from repro.core.adaptive import AdaptivePointerNode, run_adaptive
 from repro.core.arrow import ArrowNode, make_arrow_nodes
 from repro.core.centralized import CentralizedNode
+from repro.core.fast_arrow import FastArrowEngine, run_arrow_fast
 from repro.core.queueing import CompletionRecord, RunResult, verify_total_order
 from repro.core.requests import NO_RID, ROOT_RID, Request, RequestSchedule
 from repro.core.runner import run_arrow, run_centralized
@@ -21,6 +22,8 @@ __all__ = [
     "ArrowNode",
     "make_arrow_nodes",
     "CentralizedNode",
+    "FastArrowEngine",
+    "run_arrow_fast",
     "CompletionRecord",
     "RunResult",
     "verify_total_order",

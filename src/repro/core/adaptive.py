@@ -65,7 +65,7 @@ class AdaptivePointerNode(ProtocolNode):
             self.last_rid = NO_RID
 
     # ------------------------------------------------------------------
-    def initiate(self, rid: int, origin_time: float) -> None:
+    def initiate(self, rid: int) -> None:
         """Issue a request: chase ``last`` pointers toward the tail."""
         assert self.net is not None
         if self.last == self.node_id:
@@ -137,7 +137,7 @@ def run_adaptive(
         nd.init_pointers(root)
 
     for req in schedule:
-        sim.call_at(req.time, nodes[req.node].initiate, req.rid, req.time)
+        sim.call_at(req.time, nodes[req.node].initiate, req.rid)
 
     t0 = _wall.perf_counter()
     result.makespan = sim.run()

@@ -87,8 +87,13 @@ class ArrowNode(ProtocolNode):
         return self.link == self.node_id
 
     # ------------------------------------------------------------------
-    def initiate(self, rid: int, origin_time: float) -> None:
-        """Issue request ``rid`` from this node (atomic initiation step)."""
+    def initiate(self, rid: int) -> None:
+        """Issue request ``rid`` from this node (atomic initiation step).
+
+        The request's issue time is the current simulation time; the
+        schedule (or closed-loop driver) is the single source of origin
+        times, so the protocol layer does not take one as an argument.
+        """
         assert self.net is not None
         if self.link == self.node_id:
             # Local find: this node is the sink, so the new request is

@@ -80,7 +80,7 @@ class CentralizedNode(ProtocolNode):
         self.tail_node = self.node_id
 
     # ------------------------------------------------------------------
-    def initiate(self, rid: int, origin_time: float) -> None:
+    def initiate(self, rid: int) -> None:
         """Issue a request: one routed message to the centre.
 
         The centre itself skips the first leg and enqueues locally.

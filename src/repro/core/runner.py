@@ -76,7 +76,7 @@ def run_arrow(
 
     for req in schedule:
         node = nodes[req.node]
-        sim.call_at(req.time, node.initiate, req.rid, req.time)
+        sim.call_at(req.time, node.initiate, req.rid)
 
     t0 = _wall.perf_counter()
     result.makespan = sim.run()
@@ -130,7 +130,7 @@ def run_centralized(
     nodes[center].init_center()
 
     for req in schedule:
-        sim.call_at(req.time, nodes[req.node].initiate, req.rid, req.time)
+        sim.call_at(req.time, nodes[req.node].initiate, req.rid)
 
     t0 = _wall.perf_counter()
     result.makespan = sim.run()

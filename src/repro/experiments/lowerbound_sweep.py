@@ -10,6 +10,14 @@ measured arrow/optimal ratio for
 plus the Theorem 4.2 stretch-scaled variant.  The worst legal message
 scheduler is approximated by taking the max cost over the ``min``/``max``
 tie-breaking policies of the fast executor.
+
+Per-diameter points are independent and route through
+:func:`repro.sweep.executor.map_jobs` (``workers > 1`` fans them out).
+Passing ``engine="fast"`` or ``"message"`` additionally simulates each
+instance on the chosen arrow engine and reports the realised execution's
+ratio alongside the tie-break bracket — the kernel's deterministic
+simultaneity resolution is one legal scheduler, so its ratio must sit at
+or below the bracket's max.
 """
 
 from __future__ import annotations
@@ -18,11 +26,13 @@ import math
 
 from repro.analysis.nearest_neighbor import predict_arrow_run
 from repro.analysis.optimal import opt_bounds
+from repro.core.fast_arrow import arrow_runner
 from repro.experiments.records import ExperimentResult, Series
 from repro.lowerbound.construction import default_k, theorem41_instance
 from repro.lowerbound.layered import layered_instance
 from repro.lowerbound.stretch_graph import theorem42_instance
 from repro.spanning.metrics import tree_stretch
+from repro.sweep.executor import map_jobs
 
 __all__ = ["run_theorem41_sweep", "run_theorem42_sweep", "worst_case_arrow_cost"]
 
@@ -39,41 +49,63 @@ def worst_case_arrow_cost(tree, schedule) -> float:
     return max(lo, hi)
 
 
+def _simulated_cost(inst, engine: str) -> float:
+    """Total latency of the kernel's realised execution on one instance."""
+    return arrow_runner(engine)(inst.graph, inst.tree, inst.schedule).total_latency
+
+
+def _thm41_cell(
+    job: tuple[int, int, str | None]
+) -> tuple[float, float, float, float, float]:
+    """One diameter: (lit ratio, lay ratio, target, sim lit, sim lay)."""
+    D, k, engine = job
+    lit = theorem41_instance(D, k)
+    cost_lit = worst_case_arrow_cost(lit.tree, lit.schedule)
+    ob_lit = opt_bounds(lit.graph, lit.tree, lit.schedule, 1.0, exact_limit=0)
+
+    # The layered reconstruction sustains one extra refinement level.
+    lay = layered_instance(D, k + 1)
+    cost_lay = worst_case_arrow_cost(lay.tree, lay.schedule)
+    ob_lay = opt_bounds(lay.graph, lay.tree, lay.schedule, 1.0, exact_limit=0)
+
+    target = math.log2(D) / max(1.0, math.log2(max(2.0, math.log2(D))))
+    sim_lit = _simulated_cost(lit, engine) / ob_lit.upper if engine else 0.0
+    sim_lay = _simulated_cost(lay, engine) / ob_lay.upper if engine else 0.0
+    return (
+        cost_lit / ob_lit.upper,
+        cost_lay / ob_lay.upper,
+        target,
+        sim_lit,
+        sim_lay,
+    )
+
+
 def run_theorem41_sweep(
     diameters: list[int] | None = None,
     *,
     k_values: dict[int, int] | None = None,
+    engine: str | None = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Ratio growth of the adversarial instances vs diameter."""
     Ds = diameters if diameters is not None else [16, 64, 256, 1024]
-    lit_ratio: list[float] = []
-    lay_ratio: list[float] = []
-    target: list[float] = []
-    for D in Ds:
-        k = (k_values or {}).get(D, default_k(D))
-        lit = theorem41_instance(D, k)
-        cost_lit = worst_case_arrow_cost(lit.tree, lit.schedule)
-        ob_lit = opt_bounds(lit.graph, lit.tree, lit.schedule, 1.0, exact_limit=0)
-        lit_ratio.append(cost_lit / ob_lit.upper)
-
-        # The layered reconstruction sustains one extra refinement level.
-        lay = layered_instance(D, k + 1)
-        cost_lay = worst_case_arrow_cost(lay.tree, lay.schedule)
-        ob_lay = opt_bounds(lay.graph, lay.tree, lay.schedule, 1.0, exact_limit=0)
-        lay_ratio.append(cost_lay / ob_lay.upper)
-
-        target.append(math.log2(D) / max(1.0, math.log2(max(2.0, math.log2(D)))))
+    jobs = [(D, (k_values or {}).get(D, default_k(D)), engine) for D in Ds]
+    points = map_jobs(_thm41_cell, jobs, workers=workers)
     xs = [float(d) for d in Ds]
+    series = [
+        Series("literal construction", xs, [p[0] for p in points]),
+        Series("bitonic layered", xs, [p[1] for p in points]),
+        Series("log D / log log D target", xs, [p[2] for p in points]),
+    ]
+    if engine:
+        series.append(Series("literal (simulated)", xs, [p[3] for p in points]))
+        series.append(Series("layered (simulated)", xs, [p[4] for p in points]))
     return ExperimentResult(
         experiment_id="thm41",
         title="Lower-bound instances: measured arrow/opt ratio vs D",
         xlabel="path diameter D",
-        series=[
-            Series("literal construction", xs, lit_ratio),
-            Series("bitonic layered", xs, lay_ratio),
-            Series("log D / log log D target", xs, target),
-        ],
-        params={},
+        series=series,
+        params={"engine": engine} if engine else {},
         notes=[
             "Theorem 4.1 target: ratio = Omega(log D / log log D)",
             "see repro.lowerbound.layered for the reconstruction note",
@@ -81,31 +113,42 @@ def run_theorem41_sweep(
     )
 
 
+def _thm42_cell(
+    job: tuple[int, int, str | None]
+) -> tuple[float, float, float]:
+    """One stretch value: (ratio, measured stretch, simulated ratio)."""
+    s, D_over_s, engine = job
+    inst = theorem42_instance(D_over_s, s)
+    cost = worst_case_arrow_cost(inst.tree, inst.schedule)
+    stretch = tree_stretch(inst.graph, inst.tree).stretch
+    ob = opt_bounds(inst.graph, inst.tree, inst.schedule, stretch, exact_limit=0)
+    sim = _simulated_cost(inst, engine) / ob.upper if engine else 0.0
+    return cost / ob.upper, stretch, sim
+
+
 def run_theorem42_sweep(
     stretches: list[int] | None = None,
     *,
     D_over_s: int = 64,
+    engine: str | None = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Theorem 4.2: ratio scaling with the spanning tree's stretch."""
     ss = stretches if stretches is not None else [1, 2, 4, 8]
-    ratios: list[float] = []
-    stretch_measured: list[float] = []
-    for s in ss:
-        inst = theorem42_instance(D_over_s, s)
-        cost = worst_case_arrow_cost(inst.tree, inst.schedule)
-        stretch = tree_stretch(inst.graph, inst.tree).stretch
-        ob = opt_bounds(inst.graph, inst.tree, inst.schedule, stretch, exact_limit=0)
-        ratios.append(cost / ob.upper)
-        stretch_measured.append(stretch)
+    jobs = [(s, D_over_s, engine) for s in ss]
+    points = map_jobs(_thm42_cell, jobs, workers=workers)
     xs = [float(s) for s in ss]
+    series = [
+        Series("measured ratio", xs, [p[0] for p in points]),
+        Series("measured tree stretch", xs, [p[1] for p in points]),
+    ]
+    if engine:
+        series.append(Series("simulated ratio", xs, [p[2] for p in points]))
     return ExperimentResult(
         experiment_id="thm42",
         title="Lower bound vs stretch (shortcut graphs)",
         xlabel="construction stretch s",
-        series=[
-            Series("measured ratio", xs, ratios),
-            Series("measured tree stretch", xs, stretch_measured),
-        ],
-        params={"D_over_s": D_over_s},
+        series=series,
+        params={"D_over_s": D_over_s, **({"engine": engine} if engine else {})},
         notes=["Theorem 4.2: ratio = Omega(s log(D/s)/log log(D/s))"],
     )

@@ -1,0 +1,52 @@
+"""Declarative parameter sweeps over the arrow simulators.
+
+The sweep subsystem turns the experiment layer's hand-rolled parameter
+loops into data: a :class:`~repro.sweep.spec.SweepSpec` declares a grid
+(graph family × tree strategy × schedule family × seeds), the executor
+expands it into cells with deterministic per-cell seeds, runs them —
+optionally across worker processes — through the fast or the
+message-level arrow engine, and persists one JSONL row per cell with
+resume-from-partial support.
+"""
+
+from repro.sweep.executor import execute_cell, map_jobs, run_sweep
+from repro.sweep.persist import completed_ids, dumps_row, iter_rows
+from repro.sweep.spec import (
+    GRAPH_BUILDERS,
+    SCHEDULE_BUILDERS,
+    TREE_BUILDERS,
+    GraphSpec,
+    ScheduleSpec,
+    SweepCell,
+    SweepSpec,
+    build_graph,
+    build_schedule,
+    build_tree,
+    cell_seed,
+    fig11_grid,
+    mixed_grid,
+    smoke_grid,
+)
+
+__all__ = [
+    "GraphSpec",
+    "ScheduleSpec",
+    "SweepCell",
+    "SweepSpec",
+    "GRAPH_BUILDERS",
+    "TREE_BUILDERS",
+    "SCHEDULE_BUILDERS",
+    "build_graph",
+    "build_tree",
+    "build_schedule",
+    "cell_seed",
+    "fig11_grid",
+    "mixed_grid",
+    "smoke_grid",
+    "execute_cell",
+    "map_jobs",
+    "run_sweep",
+    "completed_ids",
+    "dumps_row",
+    "iter_rows",
+]

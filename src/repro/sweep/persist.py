@@ -1,0 +1,72 @@
+"""JSONL persistence for sweep results.
+
+One JSON object per line, serialised canonically (sorted keys, compact
+separators) so a sweep with a fixed seed produces byte-identical files
+regardless of worker count.  Files are append-only during a run; resume
+reads the valid prefix back and skips completed cells.  A truncated
+trailing line — the signature of a killed run — is dropped on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+
+__all__ = ["dumps_row", "iter_rows", "completed_ids", "compact"]
+
+
+def dumps_row(row: dict[str, Any]) -> str:
+    """Canonical one-line serialisation of a result row (no newline)."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+def iter_rows(path: str) -> Iterator[dict[str, Any]]:
+    """Yield the valid rows of a JSONL file.
+
+    A corrupt *final* line is tolerated (partial write of an interrupted
+    run); a corrupt line followed by more data indicates real damage and
+    raises :class:`ReproError`.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        pending_error: str | None = None
+        for lineno, line in enumerate(fh, 1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if pending_error is not None:
+                raise ReproError(pending_error)
+            try:
+                yield json.loads(stripped)
+            except json.JSONDecodeError:
+                # Defer: only an error if any non-empty line follows.
+                pending_error = f"{path}:{lineno}: corrupt JSONL row mid-file"
+
+
+def completed_ids(path: str) -> set[str]:
+    """Cell ids already recorded in a (possibly partial) result file."""
+    if not os.path.exists(path):
+        return set()
+    return {row["cell_id"] for row in iter_rows(path) if "cell_id" in row}
+
+
+def compact(path: str) -> set[str]:
+    """Drop a truncated trailing line in place; return the completed ids.
+
+    Rewrites the file only when needed (atomic replace), so resuming
+    after a kill leaves a clean append point.
+    """
+    if not os.path.exists(path):
+        return set()
+    rows = list(iter_rows(path))
+    text = "".join(dumps_row(r) + "\n" for r in rows)
+    with open(path, "r", encoding="utf-8") as fh:
+        current = fh.read()
+    if current != text:
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    return {row["cell_id"] for row in rows if "cell_id" in row}

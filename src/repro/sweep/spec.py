@@ -1,0 +1,410 @@
+"""Sweep specifications: declarative grids and their expansion into cells.
+
+A :class:`SweepSpec` is pure data — strings, numbers and tuples — so it
+pickles cheaply across worker processes and round-trips through JSON.
+Expansion order is part of the contract: cells are enumerated in the
+nested-loop order ``graphs → trees → schedules → seeds`` with a stable
+``cell_id`` per cell, so a sweep's JSONL output is byte-for-byte
+reproducible regardless of how many workers execute it.
+
+Per-cell randomness derives from :func:`repro.sim.rng.spawn_rng` keyed by
+the cell's axes (not its position), so inserting a new axis value never
+perturbs the draws of existing cells.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.graphs.generators import (
+    balanced_binary_tree_graph,
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    gnp_connected_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    path_graph,
+    random_geometric_graph,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.graph import Graph
+from repro.sim.rng import spawn_rng
+from repro.spanning.construct import (
+    balanced_binary_overlay,
+    bfs_tree,
+    mst_kruskal,
+    mst_prim,
+    random_spanning_tree,
+    star_overlay,
+)
+from repro.spanning.tree import SpanningTree
+from repro.workloads import schedules as _schedules
+
+__all__ = [
+    "GraphSpec",
+    "ScheduleSpec",
+    "SweepCell",
+    "SweepSpec",
+    "GRAPH_BUILDERS",
+    "TREE_BUILDERS",
+    "SCHEDULE_BUILDERS",
+    "build_graph",
+    "build_tree",
+    "build_schedule",
+    "cell_seed",
+    "fig11_grid",
+    "mixed_grid",
+    "smoke_grid",
+]
+
+#: Graph family name -> generator (all from :mod:`repro.graphs.generators`).
+GRAPH_BUILDERS = {
+    "complete": complete_graph,
+    "path": path_graph,
+    "cycle": cycle_graph,
+    "star": star_graph,
+    "binary_tree": balanced_binary_tree_graph,
+    "grid": grid_graph,
+    "torus": torus_graph,
+    "hypercube": hypercube_graph,
+    "geometric": random_geometric_graph,
+    "gnp": gnp_connected_graph,
+    "caterpillar": caterpillar_graph,
+    "lollipop": lollipop_graph,
+}
+#: Families whose generator takes a ``seed`` argument.
+_SEEDED_GRAPHS = frozenset({"geometric", "gnp"})
+
+#: Tree strategy name -> constructor from :mod:`repro.spanning.construct`.
+TREE_BUILDERS = {
+    "bfs": bfs_tree,
+    "mst": mst_prim,
+    "kruskal": mst_kruskal,
+    "binary": balanced_binary_overlay,
+    "star": star_overlay,
+    "random": random_spanning_tree,
+}
+
+#: Schedule family names handled by :func:`build_schedule`, with the
+#: parameters each accepts (validated at spec-build time so a typo'd key
+#: fails loudly instead of silently running defaults under a label that
+#: claims otherwise).
+SCHEDULE_BUILDERS = {
+    "one_shot": frozenset(),
+    "sequential": frozenset({"gap"}),
+    "poisson": frozenset({"count", "rate", "per_node", "rate_per_node"}),
+    "bursty": frozenset(
+        {"count", "per_node", "bursts", "burst_size", "burst_span", "idle_gap"}
+    ),
+    "hotspot": frozenset(
+        {"count", "rate", "per_node", "rate_per_node", "hot_nodes", "hot_fraction"}
+    ),
+    "random": frozenset({"count", "per_node", "horizon"}),
+}
+
+
+def _param_key(params: tuple[tuple[str, object], ...]) -> str:
+    return ",".join(f"{k}={v}" for k, v in params)
+
+
+@dataclass(frozen=True, slots=True)
+class GraphSpec:
+    """One point on the graph-family axis: family name + generator kwargs."""
+
+    family: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, family: str, **params: object) -> "GraphSpec":
+        """Build a spec from keyword generator arguments.
+
+        Parameter names are checked against the generator's signature
+        here, so a typo fails at spec-build time with a named error
+        rather than as a raw ``TypeError`` inside a worker mid-sweep.
+        """
+        if family not in GRAPH_BUILDERS:
+            raise ScheduleError(
+                f"unknown graph family {family!r}; know {sorted(GRAPH_BUILDERS)}"
+            )
+        accepted = set(inspect.signature(GRAPH_BUILDERS[family]).parameters)
+        unknown = set(params) - accepted
+        if unknown:
+            raise ScheduleError(
+                f"graph family {family!r} does not accept {sorted(unknown)}; "
+                f"known parameters: {sorted(accepted)}"
+            )
+        return cls(family, tuple(sorted(params.items())))
+
+    def kwargs(self) -> dict[str, object]:
+        """Generator keyword arguments as a dict."""
+        return dict(self.params)
+
+    def label(self) -> str:
+        """Stable human-readable id component, e.g. ``complete(n=16)``."""
+        return f"{self.family}({_param_key(self.params)})"
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleSpec:
+    """One point on the schedule-family axis: family name + parameters.
+
+    The ``poisson``, ``hotspot`` and ``random`` families accept relative
+    sizes — ``per_node`` (requests per node) and ``rate_per_node`` — so
+    one spec scales across the graph axis; absolute ``count``/``rate``
+    are honoured when given.
+    """
+
+    family: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, family: str, **params: object) -> "ScheduleSpec":
+        """Build a spec from keyword schedule parameters."""
+        if family not in SCHEDULE_BUILDERS:
+            raise ScheduleError(
+                f"unknown schedule family {family!r}; know {sorted(SCHEDULE_BUILDERS)}"
+            )
+        unknown = set(params) - SCHEDULE_BUILDERS[family]
+        if unknown:
+            raise ScheduleError(
+                f"schedule family {family!r} does not accept {sorted(unknown)}; "
+                f"known parameters: {sorted(SCHEDULE_BUILDERS[family])}"
+            )
+        return cls(family, tuple(sorted(params.items())))
+
+    def kwargs(self) -> dict[str, object]:
+        """Schedule parameters as a dict."""
+        return dict(self.params)
+
+    def label(self) -> str:
+        """Stable human-readable id component."""
+        return f"{self.family}({_param_key(self.params)})"
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCell:
+    """One fully instantiated grid cell (still declarative — no objects)."""
+
+    index: int
+    cell_id: str
+    graph: GraphSpec
+    tree: str
+    schedule: ScheduleSpec
+    seed: int
+    engine: str
+    service_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class SweepSpec:
+    """A declarative sweep grid.
+
+    ``cells()`` expands the four axes in nested-loop order; the engine
+    and service time apply to every cell.
+    """
+
+    name: str
+    graphs: tuple[GraphSpec, ...]
+    trees: tuple[str, ...]
+    schedules: tuple[ScheduleSpec, ...]
+    seeds: tuple[int, ...]
+    engine: str = "fast"
+    service_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("fast", "message"):
+            raise ScheduleError(f"engine must be 'fast' or 'message', got {self.engine!r}")
+        for t in self.trees:
+            if t not in TREE_BUILDERS:
+                raise ScheduleError(
+                    f"unknown tree strategy {t!r}; know {sorted(TREE_BUILDERS)}"
+                )
+
+    def cells(self) -> list[SweepCell]:
+        """Expand the grid: graphs → trees → schedules → seeds order.
+
+        The cell id carries every axis that can change the metrics —
+        including a non-default service time, so resuming a re-parametrised
+        sweep into an old file recomputes rather than silently keeping
+        stale rows.  The engine is deliberately *not* part of the identity:
+        the two engines are bit-identical, so rows are interchangeable.
+        """
+        st = f"/st{self.service_time}" if self.service_time else ""
+        out: list[SweepCell] = []
+        i = 0
+        for g in self.graphs:
+            for t in self.trees:
+                for s in self.schedules:
+                    for seed in self.seeds:
+                        cid = f"{g.label()}/{t}/{s.label()}/s{seed}{st}"
+                        out.append(
+                            SweepCell(
+                                index=i,
+                                cell_id=cid,
+                                graph=g,
+                                tree=t,
+                                schedule=s,
+                                seed=seed,
+                                engine=self.engine,
+                                service_time=self.service_time,
+                            )
+                        )
+                        i += 1
+        return out
+
+    def num_cells(self) -> int:
+        """Grid size without expanding."""
+        return (
+            len(self.graphs) * len(self.trees) * len(self.schedules) * len(self.seeds)
+        )
+
+
+# ----------------------------------------------------------------------
+# cell instantiation
+# ----------------------------------------------------------------------
+def cell_seed(cell: SweepCell) -> int:
+    """Deterministic per-cell seed, independent of execution order.
+
+    Spawned from the cell's master seed and its axis labels via
+    :func:`repro.sim.rng.spawn_rng`, so every worker process derives the
+    identical value and distinct cells get independent streams.
+    """
+    name = f"sweep/{cell.graph.label()}/{cell.tree}/{cell.schedule.label()}"
+    return int(spawn_rng(cell.seed, name).integers(0, 2**31 - 1))
+
+
+def build_graph(spec: GraphSpec, seed: int) -> Graph:
+    """Instantiate the graph of one cell (seeded families get ``seed``)."""
+    kwargs = spec.kwargs()
+    if spec.family in _SEEDED_GRAPHS:
+        kwargs.setdefault("seed", seed)
+    return GRAPH_BUILDERS[spec.family](**kwargs)
+
+
+def build_tree(strategy: str, graph: Graph, seed: int, root: int = 0) -> SpanningTree:
+    """Instantiate the spanning tree of one cell."""
+    if strategy == "random":
+        return random_spanning_tree(graph, root, seed=seed)
+    return TREE_BUILDERS[strategy](graph, root)
+
+
+def build_schedule(spec: ScheduleSpec, num_nodes: int, seed: int):
+    """Instantiate the request schedule of one cell.
+
+    Relative parameters (``per_node``, ``rate_per_node``) are resolved
+    against ``num_nodes`` here, which is what lets one
+    :class:`ScheduleSpec` scale across the whole graph axis.
+    """
+    p = spec.kwargs()
+    count = int(p.pop("count", 0)) or int(p.pop("per_node", 4)) * num_nodes
+    p.pop("per_node", None)
+    rate = float(p.pop("rate", 0.0)) or float(p.pop("rate_per_node", 0.5)) * num_nodes
+    p.pop("rate_per_node", None)
+    if spec.family == "one_shot":
+        return _schedules.one_shot(list(range(num_nodes)))
+    if spec.family == "sequential":
+        return _schedules.sequential(
+            list(range(num_nodes)), gap=float(p.get("gap", 4.0 * num_nodes))
+        )
+    if spec.family == "poisson":
+        return _schedules.poisson(num_nodes, count, rate, seed=seed)
+    if spec.family == "bursty":
+        return _schedules.bursty(
+            num_nodes,
+            bursts=int(p.get("bursts", 4)),
+            burst_size=int(p.get("burst_size", max(1, count // 4))),
+            burst_span=float(p.get("burst_span", 2.0)),
+            idle_gap=float(p.get("idle_gap", 3.0 * num_nodes)),
+            seed=seed,
+        )
+    if spec.family == "hotspot":
+        hot = list(p.get("hot_nodes", (0,)))
+        return _schedules.hotspot(
+            num_nodes,
+            count,
+            rate,
+            hot_nodes=hot,
+            hot_fraction=float(p.get("hot_fraction", 0.8)),
+            seed=seed,
+        )
+    if spec.family == "random":
+        return _schedules.random_times(
+            num_nodes,
+            count,
+            horizon=float(p.get("horizon", 2.0 * num_nodes)),
+            seed=seed,
+        )
+    raise ScheduleError(f"unknown schedule family {spec.family!r}")
+
+
+# ----------------------------------------------------------------------
+# named grids (CLI presets)
+# ----------------------------------------------------------------------
+def fig11_grid(
+    sizes: tuple[int, ...] = (8, 16, 32, 64),
+    *,
+    per_node: int = 100,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    engine: str = "fast",
+    service_time: float = 0.1,
+) -> SweepSpec:
+    """Fig. 11-style grid: hops/op on complete graphs + binary overlays.
+
+    Open-loop Poisson traffic at one request per node per time unit —
+    the steady-state analogue of the paper's closed loop.  The default
+    ``service_time`` matches ``run_fig11``'s SP2 model (0.1) so grid rows
+    are directly comparable to ``repro-arrow fig11 --engine fast``.
+    """
+    return SweepSpec(
+        name="fig11",
+        graphs=tuple(GraphSpec.of("complete", n=n) for n in sizes),
+        trees=("binary",),
+        schedules=(ScheduleSpec.of("poisson", per_node=per_node, rate_per_node=1.0),),
+        seeds=tuple(seeds),
+        engine=engine,
+        service_time=service_time,
+    )
+
+
+def mixed_grid(
+    *,
+    seeds: tuple[int, ...] = (0, 1),
+    engine: str = "fast",
+) -> SweepSpec:
+    """A cross-family grid exercising diverse shapes, trees and traffic."""
+    return SweepSpec(
+        name="mixed",
+        graphs=(
+            GraphSpec.of("complete", n=24),
+            GraphSpec.of("grid", rows=5, cols=5),
+            GraphSpec.of("hypercube", dim=5),
+            GraphSpec.of("gnp", n=24, p=0.3),
+        ),
+        trees=("bfs", "mst", "random"),
+        schedules=(
+            ScheduleSpec.of("one_shot"),
+            ScheduleSpec.of("poisson", per_node=20, rate_per_node=0.5),
+            ScheduleSpec.of("hotspot", per_node=20, rate_per_node=0.5),
+        ),
+        seeds=tuple(seeds),
+        engine=engine,
+    )
+
+
+def smoke_grid(
+    *, seeds: tuple[int, ...] = (0, 1), engine: str = "fast"
+) -> SweepSpec:
+    """Tiny grid for CI smoke runs (4 cells at defaults, sub-second)."""
+    return SweepSpec(
+        name="smoke",
+        graphs=(GraphSpec.of("complete", n=8), GraphSpec.of("path", n=9)),
+        trees=("bfs",),
+        schedules=(ScheduleSpec.of("poisson", per_node=5, rate_per_node=0.5),),
+        seeds=tuple(seeds),
+        engine=engine,
+    )

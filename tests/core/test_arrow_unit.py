@@ -53,7 +53,7 @@ def test_initial_pointers_lead_to_root():
 
 def test_single_request_reverses_path_and_moves_sink():
     sim, nodes, done = setup_line(4, root=0)
-    nodes[3].initiate(0, 0.0)
+    nodes[3].initiate(0)
     sim.run()
     # Completion at the old root after 3 hops / 3 time units.
     assert done == [(0, ROOT_RID, 0, 3.0, 3)]
@@ -64,7 +64,7 @@ def test_single_request_reverses_path_and_moves_sink():
 
 def test_local_request_at_root_completes_instantly():
     sim, nodes, done = setup_line(3, root=0)
-    nodes[0].initiate(0, 0.0)
+    nodes[0].initiate(0)
     sim.run()
     assert done == [(0, ROOT_RID, 0, 0.0, 0)]
     assert nodes[0].link == 0  # still the sink
@@ -73,9 +73,9 @@ def test_local_request_at_root_completes_instantly():
 
 def test_two_sequential_requests_chain():
     sim, nodes, done = setup_line(4, root=0)
-    nodes[2].initiate(0, 0.0)
+    nodes[2].initiate(0)
     sim.run()
-    nodes[1].initiate(1, sim.now)
+    nodes[1].initiate(1)
     sim.run()
     assert done[0][:3] == (0, ROOT_RID, 0)
     # Second request finds its predecessor (request 0) at node 2.
@@ -106,9 +106,9 @@ def test_concurrent_requests_deflection_fig6():
 
 def test_same_node_rerequest_is_local_after_completion():
     sim, nodes, done = setup_line(4, root=0)
-    nodes[3].initiate(0, 0.0)
+    nodes[3].initiate(0)
     sim.run()
-    nodes[3].initiate(1, sim.now)
+    nodes[3].initiate(1)
     sim.run()
     assert done[1] == (1, 0, 3, 3.0, 0)  # local find, zero hops
 
@@ -116,8 +116,8 @@ def test_same_node_rerequest_is_local_after_completion():
 def test_request_while_own_message_in_flight():
     """A node may issue again before its previous request completed."""
     sim, nodes, done = setup_line(5, root=0)
-    nodes[4].initiate(0, 0.0)
-    sim.call_at(1.0, nodes[4].initiate, 1, 1.0)
+    nodes[4].initiate(0)
+    sim.call_at(1.0, nodes[4].initiate, 1)
     sim.run()
     rids = sorted(rec[0] for rec in done)
     assert rids == [0, 1]
@@ -142,6 +142,23 @@ def test_app_handler_receives_non_queue_messages():
     nodes[0].app_handler = got.append
     nodes[0].on_message(Message("queue_reply", 1, 0))
     assert len(got) == 1
+
+
+def test_initiate_takes_only_a_rid_and_completes_at_sim_now():
+    """The initiation contract: ``initiate(rid)``, issue time = sim clock.
+
+    The old signature accepted (and silently ignored) an ``origin_time``
+    argument; issue times come from the schedule / driver exclusively, so
+    the parameter was dropped.  Pin both halves of the contract: the
+    signature rejects a second positional argument, and a local find
+    completes exactly at the simulation time of the initiation event.
+    """
+    sim, nodes, done = setup_line(3, root=0)
+    with pytest.raises(TypeError):
+        nodes[0].initiate(0, 0.0)
+    sim.call_at(2.5, nodes[0].initiate, 0)
+    sim.run()
+    assert done == [(0, ROOT_RID, 0, 2.5, 0)]
 
 
 def test_notify_origin_sends_reply():

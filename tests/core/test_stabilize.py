@@ -100,7 +100,7 @@ def test_protocol_works_after_stabilization():
     for nd in nodes:
         nd._on_complete = lambda rid, pred, node, when, hops: done.append(rid)
     for i, nd in enumerate(nodes):
-        net.sim.call_at(float(i), nd.initiate, i, float(i))
+        net.sim.call_at(float(i), nd.initiate, i)
     net.sim.run()
     assert sorted(done) == list(range(15))
 

@@ -61,3 +61,41 @@ def test_directory_command(capsys):
 def test_oneshot_command(capsys):
     assert main(["oneshot"]) == 0
     assert "One-shot" in capsys.readouterr().out
+
+
+def test_fig11_fast_engine_command(capsys):
+    assert main(["fig11", "--procs", "2,6", "--requests-per-proc", "20",
+                 "--engine", "fast"]) == 0
+    assert "mean hops/op" in capsys.readouterr().out
+
+
+def test_fig9_engine_cross_check_command(capsys):
+    assert main(["fig9", "-D", "16", "-k", "2", "--engine", "fast"]) == 0
+    assert "simulated cost (fast)" in capsys.readouterr().out
+
+
+def test_sweep_command_writes_and_resumes(tmp_path, capsys):
+    out = tmp_path / "sweep.jsonl"
+    argv = ["sweep", "--grid", "fig11", "--sizes", "4,8", "--per-node", "5",
+            "--seeds", "0", "--workers", "2", "--out", str(out)]
+    assert main(argv) == 0
+    assert "2 written" in capsys.readouterr().out
+    first = out.read_bytes()
+    assert main(argv) == 0
+    assert "2 skipped" in capsys.readouterr().out
+    assert out.read_bytes() == first
+    docs = [json.loads(line) for line in out.read_text().strip().split("\n")]
+    assert [d["graph"] for d in docs] == ["complete(n=4)", "complete(n=8)"]
+
+
+def test_sweep_command_honours_seeds_on_smoke_grid(tmp_path):
+    out = tmp_path / "smoke.jsonl"
+    assert main(["sweep", "--grid", "smoke", "--seeds", "5", "--out", str(out)]) == 0
+    docs = [json.loads(line) for line in out.read_text().strip().split("\n")]
+    assert {d["seed"] for d in docs} == {5}
+
+
+def test_sweep_command_rejects_fig11_flags_on_other_grids(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--grid", "smoke", "--sizes", "4,8",
+              "--out", str(tmp_path / "x.jsonl")])

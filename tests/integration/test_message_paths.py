@@ -73,8 +73,8 @@ def test_paper_figures_1_to_5_walkthrough():
         nd.init_pointers(tree)
     assert nodes[3].link == 3  # x is the initial sink (Fig. 1)
 
-    sim.call_at(0.0, nodes[1].initiate, 0, 0.0)  # m1 from v (Fig. 2)
-    sim.call_at(0.0, nodes[5].initiate, 1, 0.0)  # m2 from w (Fig. 3)
+    sim.call_at(0.0, nodes[1].initiate, 0)  # m1 from v (Fig. 2)
+    sim.call_at(0.0, nodes[5].initiate, 1)  # m2 from w (Fig. 3)
     sim.run()
 
     # m1 (distance 2 to x) wins the race; m2 (distance 2... w=5 -> u=4 ->

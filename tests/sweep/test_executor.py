@@ -1,0 +1,144 @@
+"""Executor + persistence tests: determinism across workers, resume."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sweep import (
+    GraphSpec,
+    ScheduleSpec,
+    SweepSpec,
+    completed_ids,
+    dumps_row,
+    execute_cell,
+    iter_rows,
+    map_jobs,
+    run_sweep,
+    smoke_grid,
+)
+
+
+def tiny_spec(engine="fast"):
+    return SweepSpec(
+        name="tiny",
+        graphs=(GraphSpec.of("complete", n=6), GraphSpec.of("path", n=7)),
+        trees=("bfs",),
+        schedules=(ScheduleSpec.of("poisson", per_node=4, rate_per_node=0.5),),
+        seeds=(0, 1, 2),
+        engine=engine,
+    )
+
+
+def test_one_vs_four_workers_identical_jsonl(tmp_path):
+    p1 = tmp_path / "w1.jsonl"
+    p4 = tmp_path / "w4.jsonl"
+    s1 = run_sweep(tiny_spec(), str(p1), workers=1)
+    s4 = run_sweep(tiny_spec(), str(p4), workers=4)
+    assert s1["written"] == s4["written"] == 6
+    assert p1.read_bytes() == p4.read_bytes()
+
+
+def test_rows_are_in_grid_order_and_complete(tmp_path):
+    p = tmp_path / "out.jsonl"
+    run_sweep(tiny_spec(), str(p), workers=2)
+    rows = list(iter_rows(str(p)))
+    assert [r["index"] for r in rows] == list(range(6))
+    assert {r["cell_id"] for r in rows} == {c.cell_id for c in tiny_spec().cells()}
+    for r in rows:
+        assert r["requests"] > 0
+        assert r["makespan"] >= 0.0
+
+
+def test_resume_skips_completed_cells(tmp_path):
+    p = tmp_path / "out.jsonl"
+    full = run_sweep(tiny_spec(), str(p), workers=1)
+    assert full["skipped"] == 0
+    whole = p.read_bytes()
+    # Keep only the first two rows; resume must compute exactly the rest.
+    lines = whole.decode().strip().split("\n")
+    p.write_text("\n".join(lines[:2]) + "\n")
+    summary = run_sweep(tiny_spec(), str(p), workers=1)
+    assert summary["skipped"] == 2 and summary["written"] == 4
+    assert p.read_bytes() == whole
+
+
+def test_resume_drops_truncated_trailing_line(tmp_path):
+    p = tmp_path / "out.jsonl"
+    run_sweep(tiny_spec(), str(p), workers=1)
+    whole = p.read_bytes()
+    lines = whole.decode().strip().split("\n")
+    p.write_text("\n".join(lines[:3]) + "\n" + lines[4][: len(lines[4]) // 2])
+    summary = run_sweep(tiny_spec(), str(p), workers=1)
+    assert summary["skipped"] == 3
+    assert p.read_bytes() == whole
+
+
+def test_resume_tolerates_blank_line_after_truncated_row(tmp_path):
+    p = tmp_path / "out.jsonl"
+    run_sweep(tiny_spec(), str(p), workers=1)
+    whole = p.read_bytes()
+    lines = whole.decode().strip().split("\n")
+    # A killed run's partial row followed by a stray newline must still
+    # resume (blank lines never promote the truncation to a hard error).
+    p.write_text("\n".join(lines[:2]) + "\n" + lines[3][:20] + "\n\n")
+    summary = run_sweep(tiny_spec(), str(p), workers=1)
+    assert summary["skipped"] == 2 and summary["written"] == 4
+    assert p.read_bytes() == whole
+
+
+def test_no_resume_recomputes_from_scratch(tmp_path):
+    p = tmp_path / "out.jsonl"
+    run_sweep(tiny_spec(), str(p), workers=1)
+    whole = p.read_bytes()
+    summary = run_sweep(tiny_spec(), str(p), workers=1, resume=False)
+    assert summary["written"] == 6 and summary["skipped"] == 0
+    assert p.read_bytes() == whole
+
+
+def test_fast_and_message_engines_produce_identical_metrics():
+    fast_cells = tiny_spec("fast").cells()
+    msg_cells = tiny_spec("message").cells()
+    for cf, cm in zip(fast_cells[:2], msg_cells[:2]):
+        rf, rm = execute_cell(cf), execute_cell(cm)
+        assert rf.pop("engine") == "fast" and rm.pop("engine") == "message"
+        assert rf == rm
+
+
+def test_corrupt_mid_file_raises():
+    import tempfile
+
+    with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as fh:
+        fh.write(dumps_row({"cell_id": "a"}) + "\n")
+        fh.write("{broken\n")
+        fh.write(dumps_row({"cell_id": "b"}) + "\n")
+        path = fh.name
+    try:
+        with pytest.raises(ReproError):
+            list(iter_rows(path))
+    finally:
+        os.unlink(path)
+
+
+def test_completed_ids_of_missing_file_is_empty(tmp_path):
+    assert completed_ids(str(tmp_path / "nope.jsonl")) == set()
+
+
+def test_map_jobs_inline_matches_pool():
+    jobs = list(range(10))
+    inline = map_jobs(_square, jobs, workers=1)
+    pooled = map_jobs(_square, jobs, workers=3)
+    assert inline == pooled == [j * j for j in jobs]
+
+
+def _square(x):
+    return x * x
+
+
+def test_smoke_grid_end_to_end(tmp_path):
+    p = tmp_path / "smoke.jsonl"
+    summary = run_sweep(smoke_grid(), str(p), workers=2)
+    assert summary["written"] == 4
+    rows = [json.loads(line) for line in p.read_text().strip().split("\n")]
+    assert all(row["engine"] == "fast" for row in rows)

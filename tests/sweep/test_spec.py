@@ -1,0 +1,147 @@
+"""Sweep spec tests: grid expansion, ordering, per-cell seed derivation."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sweep import (
+    GraphSpec,
+    ScheduleSpec,
+    SweepSpec,
+    build_graph,
+    build_schedule,
+    build_tree,
+    cell_seed,
+    fig11_grid,
+    mixed_grid,
+    smoke_grid,
+)
+
+
+def small_spec(engine="fast"):
+    return SweepSpec(
+        name="t",
+        graphs=(GraphSpec.of("complete", n=8), GraphSpec.of("grid", rows=3, cols=3)),
+        trees=("bfs", "random"),
+        schedules=(
+            ScheduleSpec.of("one_shot"),
+            ScheduleSpec.of("poisson", per_node=3, rate_per_node=0.5),
+            ScheduleSpec.of("random", per_node=3),
+        ),
+        seeds=(0, 1),
+        engine=engine,
+    )
+
+
+def test_expansion_count_is_axis_product():
+    spec = small_spec()
+    cells = spec.cells()
+    assert len(cells) == 2 * 2 * 3 * 2
+    assert spec.num_cells() == len(cells)
+
+
+def test_expansion_order_is_nested_loop_order():
+    cells = small_spec().cells()
+    # indexes are sequential and the innermost axis (seeds) varies fastest
+    assert [c.index for c in cells] == list(range(len(cells)))
+    assert [c.seed for c in cells[:4]] == [0, 1, 0, 1]
+    assert cells[0].graph.family == "complete" and cells[-1].graph.family == "grid"
+    # cell ids are unique and stable across expansions
+    ids = [c.cell_id for c in cells]
+    assert len(set(ids)) == len(ids)
+    assert ids == [c.cell_id for c in small_spec().cells()]
+
+
+def test_cell_seed_is_deterministic_and_axis_keyed():
+    cells = small_spec().cells()
+    seeds = [cell_seed(c) for c in cells]
+    assert seeds == [cell_seed(c) for c in small_spec().cells()]
+    # distinct axes -> distinct derived seeds (no collisions at this size)
+    assert len(set(seeds)) == len(seeds)
+    # derived seed depends on the axes, not the cell's position in the grid
+    reordered = SweepSpec(
+        name="t2",
+        graphs=(GraphSpec.of("grid", rows=3, cols=3), GraphSpec.of("complete", n=8)),
+        trees=("random", "bfs"),
+        schedules=(ScheduleSpec.of("one_shot"),),
+        seeds=(1, 0),
+    ).cells()
+    by_id = {c.cell_id: cell_seed(c) for c in cells}
+    for c in reordered:
+        if c.cell_id in by_id:
+            assert cell_seed(c) == by_id[c.cell_id]
+
+
+def test_builders_instantiate_every_axis_value():
+    for c in mixed_grid(seeds=(0,)).cells():
+        s = cell_seed(c)
+        g = build_graph(c.graph, s)
+        tree = build_tree(c.tree, g, s)
+        sched = build_schedule(c.schedule, g.num_nodes, s)
+        assert tree.num_nodes == g.num_nodes
+        assert len(sched) > 0
+
+
+def test_relative_schedule_params_scale_with_n():
+    spec = ScheduleSpec.of("poisson", per_node=5, rate_per_node=1.0)
+    assert len(build_schedule(spec, 8, 0)) == 40
+    assert len(build_schedule(spec, 16, 0)) == 80
+    absolute = ScheduleSpec.of("poisson", count=30, rate=2.0)
+    assert len(build_schedule(absolute, 8, 0)) == 30
+    assert len(build_schedule(absolute, 16, 0)) == 30
+
+
+def test_unknown_axis_values_rejected():
+    with pytest.raises(ScheduleError):
+        GraphSpec.of("klein_bottle", n=8)
+    with pytest.raises(ScheduleError):
+        GraphSpec.of("gnp", n=24, prob=0.3)  # generator kwarg typo
+    with pytest.raises(ScheduleError):
+        ScheduleSpec.of("thundering_herd")
+    with pytest.raises(ScheduleError):
+        ScheduleSpec.of("poisson", rate_pernode=2.0)  # typo'd key fails loudly
+    with pytest.raises(ScheduleError):
+        ScheduleSpec.of("one_shot", count=5)  # param the family ignores
+    with pytest.raises(ScheduleError):
+        SweepSpec(
+            name="bad",
+            graphs=(GraphSpec.of("complete", n=4),),
+            trees=("fibonacci",),
+            schedules=(ScheduleSpec.of("one_shot"),),
+            seeds=(0,),
+        )
+    with pytest.raises(ScheduleError):
+        smoke_grid(engine="warp")
+
+
+def test_service_time_is_part_of_cell_identity():
+    base = small_spec()
+    with_service = SweepSpec(
+        name="t",
+        graphs=base.graphs,
+        trees=base.trees,
+        schedules=base.schedules,
+        seeds=base.seeds,
+        service_time=0.1,
+    )
+    ids_a = {c.cell_id for c in base.cells()}
+    ids_b = {c.cell_id for c in with_service.cells()}
+    # Re-running a grid with a different service model must not resume
+    # into the old file's rows.
+    assert ids_a.isdisjoint(ids_b)
+
+
+def test_arrow_runner_rejects_unknown_engine():
+    from repro.core.fast_arrow import arrow_runner, run_arrow_fast
+    from repro.core.runner import run_arrow
+
+    assert arrow_runner("fast") is run_arrow_fast
+    assert arrow_runner("message") is run_arrow
+    for bad in ("Fast", "msg", ""):
+        with pytest.raises(ValueError):
+            arrow_runner(bad)
+
+
+def test_named_grids_expand():
+    assert fig11_grid((8, 16), seeds=(0,)).num_cells() == 2
+    assert smoke_grid().num_cells() == 4
+    assert mixed_grid().num_cells() == 4 * 3 * 3 * 2
