@@ -72,13 +72,17 @@ def main(argv: list[str] | None = None) -> int:
     p10.add_argument("--service-time", type=float, default=0.1)
     p10.add_argument("--think-time", type=float, default=0.1)
     p10.add_argument("--seed", type=int, default=0)
+    p10.add_argument("--engine", choices=["fast", "message"], default="fast",
+                     help="closed-loop engine (bit-identical; fast is ~5x)")
     p10.add_argument("--workers", type=int, default=1)
 
     p11 = sub.add_parser("fig11", help="arrow hops per operation")
     p11.add_argument("--procs", type=_int_list, default=None)
     p11.add_argument("--requests-per-proc", type=int, default=300)
     p11.add_argument("--seed", type=int, default=0)
-    p11.add_argument("--engine", choices=["message", "fast"], default="message")
+    p11.add_argument("--engine", choices=["fast", "message", "open"], default="fast",
+                     help="closed-loop engine (fast/message, bit-identical) "
+                          "or the open-loop steady-state analogue")
     p11.add_argument("--workers", type=int, default=1)
 
     p9 = sub.add_parser("fig9", help="lower-bound instance picture + costs")
@@ -122,13 +126,17 @@ def main(argv: list[str] | None = None) -> int:
         "sweep", help="declarative parameter sweep over graphs/trees/schedules"
     )
     psw.add_argument(
-        "--grid", choices=["fig11", "mixed", "smoke"], default="smoke",
-        help="named grid preset",
+        "--grid", choices=["fig10", "fig11", "mixed", "smoke"], default="smoke",
+        help="named grid preset (fig10 = closed-loop arrow vs centralized)",
     )
     psw.add_argument("--sizes", type=_int_list, default=None,
-                     help="system sizes (fig11 grid only)")
+                     help="system sizes (fig10/fig11 grids only)")
     psw.add_argument("--per-node", type=int, default=None,
                      help="requests per node (fig11 grid only)")
+    psw.add_argument("--requests-per-proc", type=int, default=None,
+                     help="closed-loop requests per processor (fig10 grid only)")
+    psw.add_argument("--think-time", type=float, default=None,
+                     help="closed-loop think time (fig10 grid only)")
     psw.add_argument("--seeds", type=_int_list, default=None)
     psw.add_argument("--engine", choices=["fast", "message"], default="fast")
     psw.add_argument("--workers", type=int, default=1)
@@ -147,6 +155,7 @@ def main(argv: list[str] | None = None) -> int:
                     service_time=args.service_time,
                     think_time=args.think_time,
                     seed=args.seed,
+                    engine=args.engine,
                     workers=args.workers,
                 )
             ],
@@ -241,17 +250,35 @@ def main(argv: list[str] | None = None) -> int:
             args,
         )
     elif args.cmd == "sweep":
-        from repro.sweep import fig11_grid, mixed_grid, run_sweep, smoke_grid
+        from repro.sweep import (
+            fig10_grid,
+            fig11_grid,
+            mixed_grid,
+            run_sweep,
+            smoke_grid,
+        )
 
-        if args.grid != "fig11" and (args.sizes or args.per_node is not None):
-            psw.error("--sizes/--per-node only apply to --grid fig11")
+        if args.grid not in ("fig10", "fig11") and args.sizes:
+            psw.error("--sizes only applies to --grid fig10/fig11")
+        if args.grid != "fig11" and args.per_node is not None:
+            psw.error("--per-node only applies to --grid fig11")
+        if args.grid != "fig10" and (
+            args.requests_per_proc is not None or args.think_time is not None
+        ):
+            psw.error("--requests-per-proc/--think-time only apply to --grid fig10")
         # Omitted flags fall through to the preset's own defaults.
         kwargs: dict = {"engine": args.engine}
         if args.seeds:
             kwargs["seeds"] = tuple(args.seeds)
-        if args.grid == "fig11":
-            if args.sizes:
-                kwargs["sizes"] = tuple(args.sizes)
+        if args.sizes:
+            kwargs["sizes"] = tuple(args.sizes)
+        if args.grid == "fig10":
+            if args.requests_per_proc is not None:
+                kwargs["requests_per_proc"] = args.requests_per_proc
+            if args.think_time is not None:
+                kwargs["think_time"] = args.think_time
+            spec = fig10_grid(**kwargs)
+        elif args.grid == "fig11":
             if args.per_node is not None:
                 kwargs["per_node"] = args.per_node
             spec = fig11_grid(**kwargs)

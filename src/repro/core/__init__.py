@@ -4,6 +4,11 @@ from repro.core.adaptive import AdaptivePointerNode, run_adaptive
 from repro.core.arrow import ArrowNode, make_arrow_nodes
 from repro.core.centralized import CentralizedNode
 from repro.core.fast_arrow import FastArrowEngine, run_arrow_fast
+from repro.core.fast_closed_loop import (
+    closed_loop_arrow_fast,
+    closed_loop_centralized_fast,
+    closed_loop_runner,
+)
 from repro.core.queueing import CompletionRecord, RunResult, verify_total_order
 from repro.core.requests import NO_RID, ROOT_RID, Request, RequestSchedule
 from repro.core.runner import run_arrow, run_centralized
@@ -24,6 +29,9 @@ __all__ = [
     "CentralizedNode",
     "FastArrowEngine",
     "run_arrow_fast",
+    "closed_loop_arrow_fast",
+    "closed_loop_centralized_fast",
+    "closed_loop_runner",
     "CompletionRecord",
     "RunResult",
     "verify_total_order",

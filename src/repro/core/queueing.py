@@ -49,7 +49,9 @@ class RunResult:
     #: Aggregate network counters (messages, hops), protocol-specific.
     network_stats: dict[str, int] = field(default_factory=dict)
     #: Wall-clock seconds spent simulating (for throughput reporting).
-    wall_seconds: float = 0.0
+    #: Excluded from equality: wall clock is measurement noise, and two
+    #: bit-identical runs must compare equal however long they took.
+    wall_seconds: float = field(default=0.0, compare=False)
 
     # ------------------------------------------------------------------
     def record(self, rec: CompletionRecord) -> None:

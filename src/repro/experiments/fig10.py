@@ -12,21 +12,27 @@ reaches steady state within a few hundred requests per processor, and the
 *shape* (flat vs linear, who wins where) is what the experiment checks —
 with the full-size run available via ``requests_per_proc=100_000``.
 
-The per-size points are independent, so the sweep routes through
+Two engines drive each cell, selected by ``engine=``:
+
+* ``"fast"`` (default) — :mod:`repro.core.fast_closed_loop`, the flat
+  heap-based replay of the closed-loop dynamics;
+* ``"message"`` — the original message-level drivers in
+  :mod:`repro.workloads.closed_loop`.
+
+The two are bit-identical (the parity suite enforces it), so the figure
+does not depend on the choice; the fast engine just regenerates it several
+times faster.  Per-size points are independent and route through
 :func:`repro.sweep.executor.map_jobs`: pass ``workers > 1`` to fan the
-system sizes out over processes.  (The closed loop's schedule is
-generated by its own acknowledgement dynamics, so these cells always run
-on the message-level simulator — there is no open-loop request schedule
-for the fast engine to replay.)
+system sizes out over processes.
 """
 
 from __future__ import annotations
 
+from repro.core.fast_closed_loop import closed_loop_runner
 from repro.experiments.records import ExperimentResult, Series
 from repro.graphs.generators import complete_graph
 from repro.spanning.construct import balanced_binary_overlay
 from repro.sweep.executor import map_jobs
-from repro.workloads.closed_loop import closed_loop_arrow, closed_loop_centralized
 
 __all__ = ["DEFAULT_PROC_COUNTS", "run_fig10"]
 
@@ -34,12 +40,14 @@ __all__ = ["DEFAULT_PROC_COUNTS", "run_fig10"]
 DEFAULT_PROC_COUNTS = [2, 4, 8, 16, 32, 48, 64, 76]
 
 
-def _fig10_cell(job: tuple[int, int, float, float, int]) -> tuple[float, float]:
+def _fig10_cell(job: tuple[int, int, float, float, int, str]) -> tuple[float, float]:
     """One system size: (arrow makespan, centralized makespan)."""
-    n, requests_per_proc, service_time, think_time, seed = job
+    n, requests_per_proc, service_time, think_time, seed, engine = job
+    run_arrow_loop = closed_loop_runner("arrow", engine)
+    run_central_loop = closed_loop_runner("centralized", engine)
     g = complete_graph(n)
     tree = balanced_binary_overlay(g, root=0)
-    a = closed_loop_arrow(
+    a = run_arrow_loop(
         g,
         tree,
         requests_per_proc=requests_per_proc,
@@ -47,7 +55,7 @@ def _fig10_cell(job: tuple[int, int, float, float, int]) -> tuple[float, float]:
         think_time=think_time,
         seed=seed,
     )
-    c = closed_loop_centralized(
+    c = run_central_loop(
         g,
         0,
         requests_per_proc=requests_per_proc,
@@ -65,6 +73,7 @@ def run_fig10(
     service_time: float = 0.1,
     think_time: float = 0.1,
     seed: int = 0,
+    engine: str = "fast",
     workers: int = 1,
 ) -> ExperimentResult:
     """Run the Figure 10 sweep; returns total-time series per protocol.
@@ -74,9 +83,11 @@ def run_fig10(
     the real ratio near 0.1); it is what makes the centralized centre a
     bottleneck, exactly as on the real machine.
     """
+    closed_loop_runner("arrow", engine)  # validate the engine name up front
     procs = proc_counts if proc_counts is not None else DEFAULT_PROC_COUNTS
     jobs = [
-        (n, requests_per_proc, service_time, think_time, seed) for n in procs
+        (n, requests_per_proc, service_time, think_time, seed, engine)
+        for n in procs
     ]
     points = map_jobs(_fig10_cell, jobs, workers=workers)
     arrow_times = [p[0] for p in points]
@@ -94,6 +105,7 @@ def run_fig10(
             "service_time": service_time,
             "think_time": think_time,
             "seed": seed,
+            "engine": engine,
         },
         notes=[
             "paper: centralized grows linearly with n; arrow sub-linear, "

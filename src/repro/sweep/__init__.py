@@ -5,13 +5,17 @@ loops into data: a :class:`~repro.sweep.spec.SweepSpec` declares a grid
 (graph family × tree strategy × schedule family × seeds), the executor
 expands it into cells with deterministic per-cell seeds, runs them —
 optionally across worker processes — through the fast or the
-message-level arrow engine, and persists one JSONL row per cell with
-resume-from-partial support.
+message-level engines, and persists one JSONL row per cell with
+resume-from-partial support.  The schedule axis accepts both open-loop
+request schedules and the §5 closed-loop workloads (``closed_arrow``,
+``closed_centralized``); every row carries per-request latency
+percentile and histogram columns (:mod:`repro.sweep.stats`).
 """
 
 from repro.sweep.executor import execute_cell, map_jobs, run_sweep
 from repro.sweep.persist import completed_ids, dumps_row, iter_rows
 from repro.sweep.spec import (
+    CLOSED_LOOP_FAMILIES,
     GRAPH_BUILDERS,
     SCHEDULE_BUILDERS,
     TREE_BUILDERS,
@@ -23,16 +27,19 @@ from repro.sweep.spec import (
     build_schedule,
     build_tree,
     cell_seed,
+    fig10_grid,
     fig11_grid,
     mixed_grid,
     smoke_grid,
 )
+from repro.sweep.stats import DEFAULT_BINS, latency_columns, percentile_nearest_rank
 
 __all__ = [
     "GraphSpec",
     "ScheduleSpec",
     "SweepCell",
     "SweepSpec",
+    "CLOSED_LOOP_FAMILIES",
     "GRAPH_BUILDERS",
     "TREE_BUILDERS",
     "SCHEDULE_BUILDERS",
@@ -40,6 +47,7 @@ __all__ = [
     "build_tree",
     "build_schedule",
     "cell_seed",
+    "fig10_grid",
     "fig11_grid",
     "mixed_grid",
     "smoke_grid",
@@ -49,4 +57,7 @@ __all__ = [
     "completed_ids",
     "dumps_row",
     "iter_rows",
+    "DEFAULT_BINS",
+    "latency_columns",
+    "percentile_nearest_rank",
 ]

@@ -20,8 +20,10 @@ import os
 from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.core.fast_arrow import arrow_runner
+from repro.core.fast_closed_loop import closed_loop_runner
 from repro.sweep import persist
 from repro.sweep.spec import (
+    CLOSED_LOOP_FAMILIES,
     SweepCell,
     SweepSpec,
     build_graph,
@@ -29,6 +31,7 @@ from repro.sweep.spec import (
     build_tree,
     cell_seed,
 )
+from repro.sweep.stats import latency_columns
 
 __all__ = ["execute_cell", "map_jobs", "iter_sweep", "run_sweep"]
 
@@ -71,21 +74,8 @@ def _imap_jobs(
 # ----------------------------------------------------------------------
 # cell execution
 # ----------------------------------------------------------------------
-def execute_cell(cell: SweepCell) -> dict[str, Any]:
-    """Instantiate and run one cell; return its persistable result row.
-
-    The row carries the cell's axes plus scale-free metrics; everything
-    is a deterministic function of the cell, so rows are reproducible and
-    engine-independent (the fast and message engines are bit-identical).
-    """
-    derived = cell_seed(cell)
-    graph = build_graph(cell.graph, derived)
-    tree = build_tree(cell.tree, graph, derived)
-    schedule = build_schedule(cell.schedule, graph.num_nodes, derived)
-    runner = arrow_runner(cell.engine)
-    result = runner(
-        graph, tree, schedule, seed=derived, service_time=cell.service_time
-    )
+def _axis_columns(cell: SweepCell, derived: int) -> dict[str, Any]:
+    """The identity columns every row carries, open- or closed-loop."""
     return {
         "cell_id": cell.cell_id,
         "index": cell.index,
@@ -96,6 +86,34 @@ def execute_cell(cell: SweepCell) -> dict[str, Any]:
         "cell_seed": derived,
         "engine": cell.engine,
         "service_time": cell.service_time,
+    }
+
+
+def execute_cell(cell: SweepCell) -> dict[str, Any]:
+    """Instantiate and run one cell; return its persistable result row.
+
+    The row carries the cell's axes, scale-free metrics, and the
+    per-request latency distribution (percentiles + histogram bins from
+    :func:`repro.sweep.stats.latency_columns`); everything is a
+    deterministic function of the cell, so rows are reproducible and
+    engine-independent (the fast and message engines are bit-identical).
+    Closed-loop cells (``closed_arrow`` / ``closed_centralized`` on the
+    schedule axis) run the §5 measurement loop instead of replaying a
+    request schedule.
+    """
+    if cell.schedule.family in CLOSED_LOOP_FAMILIES:
+        return _execute_closed_loop_cell(cell)
+    derived = cell_seed(cell)
+    graph = build_graph(cell.graph, derived)
+    tree = build_tree(cell.tree, graph, derived)
+    schedule = build_schedule(cell.schedule, graph.num_nodes, derived)
+    runner = arrow_runner(cell.engine)
+    result = runner(
+        graph, tree, schedule, seed=derived, service_time=cell.service_time
+    )
+    latencies = [result.latency(rid) for rid in result.completions]
+    return {
+        **_axis_columns(cell, derived),
         "n": graph.num_nodes,
         "requests": len(schedule),
         "makespan": result.makespan,
@@ -104,6 +122,50 @@ def execute_cell(cell: SweepCell) -> dict[str, Any]:
         "local_find_fraction": result.local_find_fraction(),
         "messages_sent": result.network_stats["messages_sent"],
         "hops_total": result.network_stats["hops_total"],
+        **latency_columns(latencies),
+    }
+
+
+def _execute_closed_loop_cell(cell: SweepCell) -> dict[str, Any]:
+    """Run one closed-loop cell (arrow or centralized) through either engine."""
+    derived = cell_seed(cell)
+    graph = build_graph(cell.graph, derived)
+    params = cell.schedule.kwargs()
+    requests_per_proc = int(params.get("requests_per_proc", 100))
+    think_time = float(params.get("think_time", 0.0))
+    if cell.schedule.family == "closed_arrow":
+        runner = closed_loop_runner("arrow", cell.engine)
+        tree = build_tree(cell.tree, graph, derived)
+        result = runner(
+            graph,
+            tree,
+            requests_per_proc=requests_per_proc,
+            seed=derived,
+            service_time=cell.service_time,
+            think_time=think_time,
+        )
+    else:
+        runner = closed_loop_runner("centralized", cell.engine)
+        center = int(params.get("center", 0))
+        result = runner(
+            graph,
+            center,
+            requests_per_proc=requests_per_proc,
+            seed=derived,
+            service_time=cell.service_time,
+            think_time=think_time,
+        )
+    return {
+        **_axis_columns(cell, derived),
+        "n": graph.num_nodes,
+        "requests": result.total_requests,
+        "makespan": result.makespan,
+        "total_latency": sum(result.latencies),
+        "mean_hops": result.mean_hops,
+        "local_find_fraction": result.local_find_fraction,
+        "messages_sent": result.messages_sent,
+        "hops_total": sum(result.hops),
+        **latency_columns(result.latencies),
     }
 
 

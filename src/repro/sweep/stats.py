@@ -1,0 +1,85 @@
+"""Deterministic latency-distribution summaries for sweep rows.
+
+Sweep rows persist JSON scalars and lists only, and the byte-identity
+contract (same grid + seed -> same JSONL regardless of worker count)
+extends to these columns: every value below is a pure function of the
+multiset of latencies, computed over a *sorted* copy so accumulation
+order can never leak into the output.
+
+Percentiles use the nearest-rank definition (the smallest value with at
+least ``p`` percent of the mass at or below it) — exact list indexing,
+no interpolation, no float-method ambiguity across numpy versions.
+
+The histogram uses ``bins`` equal-width buckets spanning
+``[0, {prefix}max]``; the top edge is inclusive.  Only the bin *counts*
+are persisted — the edges are fully determined by ``{prefix}max`` and
+the bin count, and persisting derived values would only duplicate
+information that must never disagree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+__all__ = ["DEFAULT_BINS", "latency_columns", "percentile_nearest_rank"]
+
+#: Default number of equal-width histogram buckets in sweep rows.
+DEFAULT_BINS = 16
+
+
+def percentile_nearest_rank(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty list."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty list")
+    if not 0 < p <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {p}")
+    rank = math.ceil(p / 100.0 * len(sorted_values))
+    return sorted_values[rank - 1]
+
+
+def latency_columns(
+    latencies: Iterable[float], *, bins: int = DEFAULT_BINS, prefix: str = "latency_"
+) -> dict[str, Any]:
+    """Summary + histogram columns for one run's per-request latencies.
+
+    Returns ``{prefix}mean/p50/p90/p99/max`` scalars plus
+    ``{prefix}hist``: a list of ``bins`` counts over equal-width buckets
+    on ``[0, {prefix}max]`` (top edge inclusive).  An empty input
+    produces all-zero columns, so rows stay schema-stable for
+    zero-request cells.
+    """
+    if bins <= 0:
+        raise ValueError(f"bins must be positive, got {bins}")
+    vals = sorted(float(x) for x in latencies)
+    n = len(vals)
+    counts = [0] * bins
+    if n == 0:
+        return {
+            f"{prefix}mean": 0.0,
+            f"{prefix}p50": 0.0,
+            f"{prefix}p90": 0.0,
+            f"{prefix}p99": 0.0,
+            f"{prefix}max": 0.0,
+            f"{prefix}hist": counts,
+        }
+    hi = vals[-1]
+    if hi <= 0.0:
+        # Degenerate distribution (every request was a local find): one
+        # spike in the first, zero-width bucket.
+        counts[0] = n
+    else:
+        scale = bins / hi
+        for v in vals:
+            idx = int(v * scale)
+            if idx >= bins:  # v == hi (or float rounding at the top edge)
+                idx = bins - 1
+            counts[idx] += 1
+    return {
+        f"{prefix}mean": sum(vals) / n,
+        f"{prefix}p50": percentile_nearest_rank(vals, 50),
+        f"{prefix}p90": percentile_nearest_rank(vals, 90),
+        f"{prefix}p99": percentile_nearest_rank(vals, 99),
+        f"{prefix}max": hi,
+        f"{prefix}hist": counts,
+    }
