@@ -17,7 +17,6 @@ from repro.lowerbound import layered_instance, theorem41_instance
 
 
 def show(title, inst, k):
-    pred = predict_arrow_run(inst.tree, inst.schedule, tie_break="min")
     cost = worst_case_arrow_cost(inst.tree, inst.schedule)
     bounds = opt_bounds(inst.graph, inst.tree, inst.schedule, 1.0, exact_limit=0)
     print(f"--- {title} (D={inst.D}, k={k}, |R|={len(inst.schedule)}) ---")

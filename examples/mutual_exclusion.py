@@ -16,8 +16,8 @@ Run:  python examples/mutual_exclusion.py
 """
 
 from repro import run_arrow, run_centralized, verify_total_order
-from repro.graphs import grid_graph, shortest_path
-from repro.spanning import bfs_tree, mst_prim
+from repro.graphs import grid_graph
+from repro.spanning import bfs_tree
 from repro.workloads import poisson
 
 

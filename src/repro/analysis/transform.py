@@ -42,7 +42,6 @@ def _slacks(times: np.ndarray, D: np.ndarray) -> np.ndarray:
     (t_b - t_a - d_T(v_a, v_b))`` where boundaries sit between distinct
     consecutive time values.  Vectorised via the full pairwise matrix.
     """
-    m = len(times)
     # Pairwise t_b - t_a - D for a as row, b as column.
     gap = times[None, :] - times[:, None] - D
     uniq = np.unique(times)

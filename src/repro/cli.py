@@ -72,45 +72,51 @@ def main(argv: list[str] | None = None) -> int:
     p10.add_argument("--service-time", type=float, default=0.1)
     p10.add_argument("--think-time", type=float, default=0.1)
     p10.add_argument("--seed", type=int, default=0)
-    p10.add_argument("--engine", choices=["fast", "message"], default="fast",
-                     help="closed-loop engine (bit-identical; fast is ~5x)")
+    p10.add_argument("--engine", choices=["fast", "message", "batch"],
+                     default="fast",
+                     help="closed-loop engine (bit-identical; fast is ~5x "
+                          "over message, batch adds vectorized RNG draws)")
     p10.add_argument("--workers", type=int, default=1)
 
     p11 = sub.add_parser("fig11", help="arrow hops per operation")
     p11.add_argument("--procs", type=_int_list, default=None)
     p11.add_argument("--requests-per-proc", type=int, default=300)
     p11.add_argument("--seed", type=int, default=0)
-    p11.add_argument("--engine", choices=["fast", "message", "open"], default="fast",
-                     help="closed-loop engine (fast/message, bit-identical) "
-                          "or the open-loop steady-state analogue")
+    p11.add_argument("--engine", choices=["fast", "message", "batch", "open"],
+                     default="fast",
+                     help="closed-loop engine (fast/message/batch, "
+                          "bit-identical) or the open-loop steady-state "
+                          "analogue")
     p11.add_argument("--workers", type=int, default=1)
 
     p9 = sub.add_parser("fig9", help="lower-bound instance picture + costs")
     p9.add_argument("-D", type=int, default=64)
     p9.add_argument("-k", type=int, default=4)
     p9.add_argument("--variant", choices=["literal", "layered"], default="layered")
-    p9.add_argument("--engine", choices=["fast", "message"], default=None,
+    p9.add_argument("--engine", choices=["fast", "message", "batch"], default=None,
                     help="also simulate the instance on this arrow engine")
 
     p319 = sub.add_parser("thm319", help="competitive ratio sweep (sync)")
     p319.add_argument("--diameters", type=_int_list, default=None)
     p319.add_argument("--requests", type=int, default=60)
-    p319.add_argument("--engine", choices=["message", "fast"], default="message")
+    p319.add_argument("--engine", choices=["message", "fast", "batch"],
+                      default="message")
     p319.add_argument("--workers", type=int, default=1)
 
     p321 = sub.add_parser("thm321", help="asynchronous comparison")
     p321.add_argument("--diameters", type=_int_list, default=None)
     p321.add_argument("--requests", type=int, default=60)
-    p321.add_argument("--engine", choices=["message", "fast"], default="message")
+    p321.add_argument("--engine", choices=["message", "fast", "batch"],
+                      default="message")
     p321.add_argument("--workers", type=int, default=1)
 
     p41 = sub.add_parser("thm41", help="lower-bound ratio growth sweep")
-    p41.add_argument("--engine", choices=["fast", "message"], default=None,
+    p41.add_argument("--engine", choices=["fast", "message", "batch"], default=None,
                      help="also report the simulated execution's ratio")
     p41.add_argument("--workers", type=int, default=1)
     p42 = sub.add_parser("thm42", help="lower bound vs stretch")
     p42.add_argument("--stretches", type=_int_list, default=None)
-    p42.add_argument("--engine", choices=["fast", "message"], default=None)
+    p42.add_argument("--engine", choices=["fast", "message", "batch"], default=None)
     p42.add_argument("--workers", type=int, default=1)
 
     pdir = sub.add_parser("directory", help="arrow vs home-based directory (5.1)")
@@ -138,11 +144,25 @@ def main(argv: list[str] | None = None) -> int:
     psw.add_argument("--think-time", type=float, default=None,
                      help="closed-loop think time (fig10 grid only)")
     psw.add_argument("--seeds", type=_int_list, default=None)
-    psw.add_argument("--engine", choices=["fast", "message"], default="fast")
+    psw.add_argument("--engine", choices=["fast", "message", "batch"],
+                     default="fast")
     psw.add_argument("--workers", type=int, default=1)
     psw.add_argument("--out", default="sweep.jsonl", help="JSONL output path")
     psw.add_argument("--no-resume", action="store_true",
                      help="discard existing rows instead of resuming")
+
+    psv = sub.add_parser(
+        "sweep-verify",
+        help="assert two sweep JSONL files carry identical rows "
+             "(the engines' bit-identity contract, as a CI primitive)",
+    )
+    psv.add_argument("--a", required=True, help="first JSONL file")
+    psv.add_argument("--b", required=True, help="second JSONL file")
+    psv.add_argument("--ignore", default="engine",
+                     help="comma-separated row columns excluded from the "
+                          "comparison (default: engine)")
+    psv.add_argument("--expect-cells", type=int, default=None,
+                     help="also require exactly this many rows per file")
 
     args = top.parse_args(argv)
 
@@ -294,6 +314,25 @@ def main(argv: list[str] | None = None) -> int:
             f"{summary['skipped']} skipped of {summary['cells']} cells "
             f"-> {summary['path']}"
         )
+    elif args.cmd == "sweep-verify":
+        from repro.sweep.persist import diff_rows
+
+        rows, problems = diff_rows(
+            args.a,
+            args.b,
+            ignore=tuple(x.strip() for x in args.ignore.split(",") if x.strip()),
+            expect_cells=args.expect_cells,
+        )
+        if problems:
+            for p in problems:
+                print(p, file=sys.stderr)
+            print(
+                f"sweep-verify FAILED: {len(problems)} problem(s) between "
+                f"{args.a} and {args.b}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"sweep-verify OK: {rows} rows identical across {args.a} and {args.b}")
     elif args.cmd == "all":
         _emit(
             [

@@ -48,8 +48,8 @@ def arrow_runner(engine: str):
     """Resolve an engine name to its run function.
 
     The single validation point for the experiment layer's
-    ``engine="fast" | "message"`` knobs — unknown names raise instead of
-    silently falling back to one of the engines.
+    ``engine="fast" | "message" | "batch"`` knobs — unknown names raise
+    instead of silently falling back to one of the engines.
     """
     if engine == "fast":
         return run_arrow_fast
@@ -57,7 +57,13 @@ def arrow_runner(engine: str):
         from repro.core.runner import run_arrow
 
         return run_arrow
-    raise ValueError(f"engine must be 'fast' or 'message', got {engine!r}")
+    if engine == "batch":
+        from repro.core.batch import run_arrow_batch
+
+        return run_arrow_batch
+    raise ValueError(
+        f"engine must be 'fast', 'message' or 'batch', got {engine!r}"
+    )
 
 def _raise_livelock(max_events: int | None) -> None:
     raise SimulationError(

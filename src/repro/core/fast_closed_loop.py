@@ -15,6 +15,15 @@ hops and latencies, issue/ack times, message totals, tie-breaking and RNG
 draws), which ``tests/core/test_fast_closed_loop_parity.py`` enforces
 instance by instance.
 
+The event loops themselves live in :func:`_run_arrow_closed_loop` and
+:func:`_run_centralized_closed_loop`, parameterised by their *delay
+sources* (deterministic per-link tables, a per-send sampler, a router for
+the acknowledgements).  The fast engine binds them to scalar
+``LatencyModel.sample`` calls; the numpy batch engine
+(:mod:`repro.core.batch`) binds the *same* loops to block-buffered
+vectorized draws, which is what keeps all three engines bit-identical by
+construction.
+
 Why bit-identical is achievable
 -------------------------------
 The message-level kernel orders events by ``(time, priority, seq)`` with a
@@ -63,8 +72,8 @@ def closed_loop_runner(protocol: str, engine: str):
     """Resolve ``(protocol, engine)`` to a closed-loop run function.
 
     The single validation point for the experiment layer's closed-loop
-    ``engine="fast" | "message"`` knobs — unknown names raise instead of
-    silently falling back.
+    ``engine="fast" | "message" | "batch"`` knobs — unknown names raise
+    instead of silently falling back.
     """
     if protocol not in ("arrow", "centralized"):
         raise ValueError(
@@ -83,7 +92,20 @@ def closed_loop_runner(protocol: str, engine: str):
         )
 
         return closed_loop_arrow if protocol == "arrow" else closed_loop_centralized
-    raise ValueError(f"engine must be 'fast' or 'message', got {engine!r}")
+    if engine == "batch":
+        from repro.core.batch import (
+            closed_loop_arrow_batch,
+            closed_loop_centralized_batch,
+        )
+
+        return (
+            closed_loop_arrow_batch
+            if protocol == "arrow"
+            else closed_loop_centralized_batch
+        )
+    raise ValueError(
+        f"engine must be 'fast', 'message' or 'batch', got {engine!r}"
+    )
 
 
 def _raise_livelock(max_events: int | None) -> None:
@@ -151,6 +173,44 @@ def _fill_result(
     return result
 
 
+def _tree_link_weights(graph: Graph, parent: list[int], root: int) -> list[float]:
+    """Per-link weights as the Network sees them: graph weights on tree edges."""
+    weight = [0.0] * len(parent)
+    for v in range(len(parent)):
+        if v != root:
+            weight[v] = graph.weight(v, parent[v])
+    return weight
+
+
+def _det_link_delays(
+    model: LatencyModel,
+    parent: list[int],
+    weight: list[float],
+    root: int,
+    rng,
+) -> tuple[list[float] | None, list[float] | None]:
+    """Per-directed-tree-link delays of a deterministic latency model.
+
+    Deterministic models may legally depend on the (src, dst) direction,
+    so one delay per directed link: up[v] = v -> parent[v], down[v] =
+    parent[v] -> v.  ``(None, None)`` for stochastic models, which must
+    draw per send.
+    """
+    if model.stochastic:
+        return None, None
+    sample = model.sample
+    n = len(parent)
+    det_up = [
+        sample(v, parent[v], weight[v], rng) if v != root else 0.0
+        for v in range(n)
+    ]
+    det_down = [
+        sample(parent[v], v, weight[v], rng) if v != root else 0.0
+        for v in range(n)
+    ]
+    return det_up, det_down
+
+
 class _Router:
     """Shortest-path routing over ``G``, mirroring :meth:`Network._route`.
 
@@ -213,50 +273,33 @@ class _Router:
         return out
 
 
-def closed_loop_arrow_fast(
-    graph: Graph,
-    tree: SpanningTree,
+# ----------------------------------------------------------------------
+# shared closed-loop cores (fast and batch engines both run these)
+# ----------------------------------------------------------------------
+def _run_arrow_closed_loop(
+    result: ClosedLoopResult,
+    parent: list[int],
+    root: int,
+    weight: list[float],
     *,
     requests_per_proc: int,
-    latency: LatencyModel | None = None,
-    seed: int = 0,
-    service_time: float = 0.0,
-    think_time: float = 0.0,
-    max_events: int | None = None,
+    service: float,
+    think: float,
+    max_events: int | None,
+    det_up: list[float] | None,
+    det_down: list[float] | None,
+    sample_link,
+    router,
 ) -> ClosedLoopResult:
-    """Closed-loop arrow run, bit-identical to ``closed_loop_arrow``."""
-    if service_time < 0:
-        raise NetworkError(f"service_time must be >= 0, got {service_time}")
-    require_spanning_subgraph(graph, [(u, v) for u, v, _ in tree.edges()])
-    n = graph.num_nodes
-    result = ClosedLoopResult("arrow", n, requests_per_proc)
-    model = latency if latency is not None else UnitLatency()
-    rng = spawn_rng(seed, "network-latency")
-    service = float(service_time)
-    think = float(think_time)
-    router = _Router(graph, model, rng)
-    sample = model.sample
+    """The arrow closed-loop event loop, delay sources injected.
 
-    root = tree.root
-    parent = list(tree.parent)
-    # Per-link weights as the Network sees them: graph weights on tree edges.
-    weight = [0.0] * n
-    for v in range(n):
-        if v != root:
-            weight[v] = graph.weight(v, parent[v])
-    # Deterministic models may legally depend on the (src, dst) direction:
-    # precompute one delay per directed tree link, like FastArrowEngine.
-    det_up: list[float] | None = None
-    det_down: list[float] | None = None
-    if not model.stochastic:
-        det_up = [
-            sample(v, parent[v], weight[v], rng) if v != root else 0.0
-            for v in range(n)
-        ]
-        det_down = [
-            sample(parent[v], v, weight[v], rng) if v != root else 0.0
-            for v in range(n)
-        ]
+    ``det_up``/``det_down`` carry per-directed-link delays for
+    deterministic latency models (``sample_link`` is then never called);
+    for stochastic models they are ``None`` and ``sample_link(src, dst,
+    weight)`` must return the next delay of the run's latency stream.
+    ``router.delay_hops`` provides the routed acknowledgement delays.
+    """
+    n = len(parent)
 
     # Protocol state (ArrowNode.init_pointers, flattened).
     link = parent[:]
@@ -292,7 +335,7 @@ def closed_loop_arrow_fast(
         nonlocal seq, messages
         down = parent[dst] == v
         if det_up is None:
-            delay = sample(v, dst, weight[dst if down else v], rng)
+            delay = sample_link(v, dst, weight[dst if down else v])
         else:
             delay = det_down[dst] if down else det_up[v]
         chan = 2 * dst + 1 if down else 2 * v
@@ -406,30 +449,22 @@ def closed_loop_arrow_fast(
     )
 
 
-def closed_loop_centralized_fast(
-    graph: Graph,
+def _run_centralized_closed_loop(
+    result: ClosedLoopResult,
+    n: int,
     center: int,
     *,
     requests_per_proc: int,
-    latency: LatencyModel | None = None,
-    seed: int = 0,
-    service_time: float = 0.0,
-    think_time: float = 0.0,
-    max_events: int | None = None,
+    service: float,
+    think: float,
+    max_events: int | None,
+    router,
 ) -> ClosedLoopResult:
-    """Closed-loop centralized run, bit-identical to ``closed_loop_centralized``."""
-    if service_time < 0:
-        raise NetworkError(f"service_time must be >= 0, got {service_time}")
-    n = graph.num_nodes
-    if not 0 <= center < n:
-        raise NetworkError(f"center {center} out of range for {n} nodes")
-    result = ClosedLoopResult("centralized", n, requests_per_proc)
-    model = latency if latency is not None else UnitLatency()
-    rng = spawn_rng(seed, "network-latency")
-    service = float(service_time)
-    think = float(think_time)
-    router = _Router(graph, model, rng)
+    """The centralized closed-loop event loop, routing injected.
 
+    Every delay of this protocol is a routed path (creq to the centre,
+    queue_reply back), so ``router.delay_hops`` is the only delay source.
+    """
     busy_until = [0.0] * n
     (
         heap,
@@ -537,4 +572,82 @@ def closed_loop_centralized_fast(
         owners=owners,
         latencies=latencies,
         wall=wall,
+    )
+
+
+# ----------------------------------------------------------------------
+# the fast engine: scalar delay sources bound to the shared cores
+# ----------------------------------------------------------------------
+def closed_loop_arrow_fast(
+    graph: Graph,
+    tree: SpanningTree,
+    *,
+    requests_per_proc: int,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    service_time: float = 0.0,
+    think_time: float = 0.0,
+    max_events: int | None = None,
+) -> ClosedLoopResult:
+    """Closed-loop arrow run, bit-identical to ``closed_loop_arrow``."""
+    if service_time < 0:
+        raise NetworkError(f"service_time must be >= 0, got {service_time}")
+    require_spanning_subgraph(graph, [(u, v) for u, v, _ in tree.edges()])
+    n = graph.num_nodes
+    result = ClosedLoopResult("arrow", n, requests_per_proc)
+    model = latency if latency is not None else UnitLatency()
+    rng = spawn_rng(seed, "network-latency")
+
+    root = tree.root
+    parent = list(tree.parent)
+    weight = _tree_link_weights(graph, parent, root)
+    det_up, det_down = _det_link_delays(model, parent, weight, root, rng)
+    sample = model.sample
+
+    return _run_arrow_closed_loop(
+        result,
+        parent,
+        root,
+        weight,
+        requests_per_proc=requests_per_proc,
+        service=float(service_time),
+        think=float(think_time),
+        max_events=max_events,
+        det_up=det_up,
+        det_down=det_down,
+        sample_link=lambda v, dst, w: sample(v, dst, w, rng),
+        router=_Router(graph, model, rng),
+    )
+
+
+def closed_loop_centralized_fast(
+    graph: Graph,
+    center: int,
+    *,
+    requests_per_proc: int,
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    service_time: float = 0.0,
+    think_time: float = 0.0,
+    max_events: int | None = None,
+) -> ClosedLoopResult:
+    """Closed-loop centralized run, bit-identical to ``closed_loop_centralized``."""
+    if service_time < 0:
+        raise NetworkError(f"service_time must be >= 0, got {service_time}")
+    n = graph.num_nodes
+    if not 0 <= center < n:
+        raise NetworkError(f"center {center} out of range for {n} nodes")
+    result = ClosedLoopResult("centralized", n, requests_per_proc)
+    model = latency if latency is not None else UnitLatency()
+    rng = spawn_rng(seed, "network-latency")
+
+    return _run_centralized_closed_loop(
+        result,
+        n,
+        center,
+        requests_per_proc=requests_per_proc,
+        service=float(service_time),
+        think=float(think_time),
+        max_events=max_events,
+        router=_Router(graph, model, rng),
     )

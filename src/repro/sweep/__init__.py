@@ -13,7 +13,7 @@ percentile and histogram columns (:mod:`repro.sweep.stats`).
 """
 
 from repro.sweep.executor import execute_cell, map_jobs, run_sweep
-from repro.sweep.persist import completed_ids, dumps_row, iter_rows
+from repro.sweep.persist import completed_ids, diff_rows, dumps_row, iter_rows
 from repro.sweep.spec import (
     CLOSED_LOOP_FAMILIES,
     GRAPH_BUILDERS,
@@ -55,6 +55,7 @@ __all__ = [
     "map_jobs",
     "run_sweep",
     "completed_ids",
+    "diff_rows",
     "dumps_row",
     "iter_rows",
     "DEFAULT_BINS",

@@ -96,7 +96,8 @@ def execute_cell(cell: SweepCell) -> dict[str, Any]:
     per-request latency distribution (percentiles + histogram bins from
     :func:`repro.sweep.stats.latency_columns`); everything is a
     deterministic function of the cell, so rows are reproducible and
-    engine-independent (the fast and message engines are bit-identical).
+    engine-independent (the fast, message and batch engines are
+    bit-identical).
     Closed-loop cells (``closed_arrow`` / ``closed_centralized`` on the
     schedule axis) run the §5 measurement loop instead of replaying a
     request schedule.

@@ -15,7 +15,7 @@ from typing import Any, Iterator
 
 from repro.errors import ReproError
 
-__all__ = ["dumps_row", "iter_rows", "completed_ids", "compact"]
+__all__ = ["dumps_row", "iter_rows", "completed_ids", "compact", "diff_rows"]
 
 
 def dumps_row(row: dict[str, Any]) -> str:
@@ -43,6 +43,102 @@ def iter_rows(path: str) -> Iterator[dict[str, Any]]:
             except json.JSONDecodeError:
                 # Defer: only an error if any non-empty line follows.
                 pending_error = f"{path}:{lineno}: corrupt JSONL row mid-file"
+
+
+def _row_shape_problems(row: dict[str, Any], label: str) -> list[str]:
+    """Structural invariants every executor row must satisfy.
+
+    The latency histogram's bin counts must cover exactly the cell's
+    requests (the executor always emits ``DEFAULT_BINS`` buckets), so a
+    violated invariant means a truncated or hand-edited file — worth
+    failing a verification over even when both inputs agree.
+    """
+    from repro.sweep.stats import DEFAULT_BINS
+
+    problems = []
+    hist = row.get("latency_hist")
+    if hist is not None:
+        if len(hist) != DEFAULT_BINS:
+            problems.append(
+                f"{label}: latency_hist has {len(hist)} bins, "
+                f"expected {DEFAULT_BINS}"
+            )
+        elif "requests" in row and sum(hist) != row["requests"]:
+            problems.append(
+                f"{label}: latency_hist counts {sum(hist)} requests, "
+                f"row says {row['requests']}"
+            )
+    return problems
+
+
+def _strict_rows(path: str, problems: list[str]) -> list[dict[str, Any]]:
+    """Load every row of ``path``, reporting ANY corrupt line as a problem.
+
+    Unlike :func:`iter_rows` — whose resume-oriented leniency drops a
+    torn trailing line — a *verification* read must flag it: a torn tail
+    is exactly the damage ``diff_rows`` exists to catch.
+    """
+    rows: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                rows.append(json.loads(stripped))
+            except json.JSONDecodeError:
+                problems.append(f"{path}:{lineno}: corrupt JSONL row")
+    return rows
+
+
+def diff_rows(
+    path_a: str,
+    path_b: str,
+    *,
+    ignore: tuple[str, ...] = ("engine",),
+    expect_cells: int | None = None,
+) -> tuple[int, list[str]]:
+    """Compare two sweep JSONL files row by row; return (rows, problems).
+
+    The engines' bit-identity contract means two sweeps of one grid must
+    serialise to equal rows modulo the ``ignore`` columns (by default just
+    the ``engine`` label itself).  Beyond equality, every row is checked
+    against the executor's structural invariants
+    (:func:`_row_shape_problems`), corrupt lines — including the torn
+    trailing line a killed run leaves, which resume-mode reads tolerate —
+    are problems, and, when ``expect_cells`` is given, the files must
+    carry exactly that many rows.  An empty problem list means the files
+    verify.
+    """
+    problems: list[str] = []
+    rows_a = _strict_rows(path_a, problems)
+    rows_b = _strict_rows(path_b, problems)
+    if expect_cells is not None and len(rows_a) != expect_cells:
+        problems.append(
+            f"{path_a}: expected {expect_cells} rows, found {len(rows_a)}"
+        )
+    if len(rows_a) != len(rows_b):
+        problems.append(
+            f"row count differs: {path_a} has {len(rows_a)}, "
+            f"{path_b} has {len(rows_b)}"
+        )
+    for k, (ra, rb) in enumerate(zip(rows_a, rows_b)):
+        fa = {key: v for key, v in ra.items() if key not in ignore}
+        fb = {key: v for key, v in rb.items() if key not in ignore}
+        if fa != fb:
+            cell = ra.get("cell_id", f"row {k}")
+            bad = sorted(
+                key
+                for key in fa.keys() | fb.keys()
+                if fa.get(key) != fb.get(key)
+            )
+            problems.append(f"row {k} ({cell}): columns differ: {', '.join(bad)}")
+    for path, rows in ((path_a, rows_a), (path_b, rows_b)):
+        for k, row in enumerate(rows):
+            problems.extend(
+                _row_shape_problems(row, f"{path} row {k}")
+            )
+    return len(rows_a), problems
 
 
 def completed_ids(path: str) -> set[str]:

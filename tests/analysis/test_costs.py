@@ -16,7 +16,7 @@ from repro.analysis.costs import (
 )
 from repro.core.requests import RequestSchedule
 from repro.errors import AnalysisError
-from repro.graphs import grid_graph, path_graph
+from repro.graphs import grid_graph
 from repro.spanning import SpanningTree, bfs_tree
 
 

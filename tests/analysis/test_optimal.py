@@ -5,12 +5,7 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.analysis.costs import (
-    augmented_nodes_times,
-    c_m_matrix,
-    c_o_matrix,
-    request_distance_matrix,
-)
+from repro.analysis.costs import c_m_matrix
 from repro.analysis.optimal import (
     best_heuristic_path,
     held_karp_path,

@@ -4,7 +4,6 @@ import math
 
 from repro.core.adaptive import run_adaptive
 from repro.core.queueing import verify_total_order
-from repro.core.requests import RequestSchedule
 from repro.graphs import complete_graph
 from repro.workloads.schedules import one_shot, poisson, sequential
 

@@ -1,0 +1,366 @@
+"""Batch-engine internals: slabs, block streams, dispatch, integration.
+
+The three-way differential suites prove the batch engine's *results*
+match the other engines; this file pins the machinery those results rest
+on — that slabs actually form (and truncate, and rewind the RNG stream)
+on the workloads built to trigger them, that the block stream replays
+the scalar draw order across refill boundaries, that model dispatch is
+exact-type (a subclass must not inherit the vectorized path), and that
+the engine plugs into the runner registry and the sweep executor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.batch as batch
+from repro.core.batch import (
+    BatchArrowEngine,
+    _BlockStream,
+    closed_loop_arrow_batch,
+    run_arrow_batch,
+)
+from repro.core.fast_arrow import FastArrowEngine, arrow_runner, run_arrow_fast
+from repro.core.fast_closed_loop import closed_loop_arrow_fast
+from repro.core.requests import RequestSchedule
+from repro.errors import SimulationError
+from repro.graphs.generators import (
+    balanced_binary_tree_graph,
+    complete_graph,
+    path_graph,
+)
+from repro.net.latency import (
+    ExponentialCappedLatency,
+    ScaledWeightLatency,
+    UniformLatency,
+    UnitLatency,
+    WeightLatency,
+)
+from repro.sim.rng import spawn_rng
+from repro.spanning.construct import balanced_binary_overlay, bfs_tree
+from repro.workloads.schedules import one_shot, poisson
+
+
+def assert_identical(a, b):
+    assert a.completions == b.completions
+    assert list(a.completions) == list(b.completions)
+    assert a.makespan == b.makespan
+    assert a.network_stats == b.network_stats
+
+
+class _SlabCounter:
+    """Monkeypatch wrapper proving a test actually exercised the slab path."""
+
+    def __init__(self, monkeypatch):
+        self.calls = 0
+        self.candidates = 0
+        self.committed = 0
+        orig = BatchArrowEngine._slab
+
+        def wrapped(engine, i, j, *args, **kwargs):
+            self.calls += 1
+            self.candidates += j - i
+            out = orig(engine, i, j, *args, **kwargs)
+            self.committed += out[0] - i
+            return out
+
+        monkeypatch.setattr(BatchArrowEngine, "_slab", wrapped)
+
+
+# ----------------------------------------------------------------------
+# the block stream
+# ----------------------------------------------------------------------
+def test_block_stream_replays_scalar_draw_order():
+    """Interleaved one()/take() must replay the scalar stream exactly."""
+    scalar = spawn_rng(3, "network-latency")
+    stream = _BlockStream(
+        spawn_rng(3, "network-latency"), lambda rng, size: rng.uniform(0.2, 1.0, size)
+    )
+    expected = [scalar.uniform(0.2, 1.0) for _ in range(500)]
+    got = []
+    k = 0
+    while len(got) < 480:
+        if k % 3 == 0:
+            got.extend(stream.take(7).tolist())
+        else:
+            got.append(stream.one())
+        k += 1
+    assert got == expected[: len(got)]
+
+
+def test_block_stream_refills_across_small_blocks(monkeypatch):
+    """Tiny refill blocks exercise the buffer-boundary arithmetic."""
+    monkeypatch.setattr(batch, "_BLOCK", 5)
+    scalar = spawn_rng(9, "network-latency")
+    stream = _BlockStream(
+        spawn_rng(9, "network-latency"), lambda rng, size: rng.exponential(0.3, size)
+    )
+    expected = [scalar.exponential(0.3) for _ in range(64)]
+    got = [stream.one() for _ in range(3)]
+    got.extend(stream.take(13).tolist())  # larger than the block size
+    got.extend(stream.one() for _ in range(48))
+    assert got == expected
+
+
+def test_block_stream_mark_rewind_release():
+    """A rewound take is un-consumed; a released one is committed."""
+    fill = lambda rng, size: rng.uniform(0.0, 1.0, size)
+    scalar = spawn_rng(4, "network-latency")
+    expected = [scalar.uniform(0.0, 1.0) for _ in range(40)]
+    stream = _BlockStream(spawn_rng(4, "network-latency"), fill)
+    head = stream.take(10).tolist()
+    assert head == expected[:10]
+    # Speculative take of 8, keep only 3.
+    pos = stream.mark()
+    spec = stream.take(8).tolist()
+    assert spec == expected[10:18]
+    stream.rewind(pos + 3)
+    assert stream.one() == expected[13]
+    # Speculative take fully committed.
+    pos = stream.mark()
+    stream.take(6)
+    stream.release()
+    assert stream.one() == expected[20]
+
+
+def test_block_stream_rewind_survives_refill(monkeypatch):
+    """A refill during a held mark must not invalidate the rewind point."""
+    monkeypatch.setattr(batch, "_BLOCK", 4)
+    fill = lambda rng, size: rng.uniform(0.0, 1.0, size)
+    scalar = spawn_rng(8, "network-latency")
+    expected = [scalar.uniform(0.0, 1.0) for _ in range(40)]
+    stream = _BlockStream(spawn_rng(8, "network-latency"), fill)
+    assert stream.take(3).tolist() == expected[:3]
+    pos = stream.mark()
+    # This take forces a refill while the mark is held.
+    assert stream.take(17).tolist() == expected[3:20]
+    stream.rewind(pos + 2)
+    assert stream.one() == expected[5]
+
+
+# ----------------------------------------------------------------------
+# slab formation, truncation and RNG rewind
+# ----------------------------------------------------------------------
+def test_one_shot_storm_is_one_growing_slab(monkeypatch):
+    """A one-shot storm commits fully through the heapify + cap-growth path."""
+    counter = _SlabCounter(monkeypatch)
+    n = 3000  # beyond _SLAB_CAP0, so the adaptive cap must grow
+    g = balanced_binary_tree_graph(n)
+    tree = bfs_tree(g, 0)
+    sched = one_shot(list(range(n)))
+    a = run_arrow_fast(g, tree, sched)
+    b = run_arrow_batch(g, tree, sched)
+    assert_identical(a, b)
+    assert counter.calls >= 2  # capped first slab, grown follow-ups
+    assert counter.committed == n  # every initiation went through a slab
+
+
+def test_slab_truncation_with_sub_unit_delays(monkeypatch):
+    """Short link delays force arrivals between initiations: slabs truncate."""
+    counter = _SlabCounter(monkeypatch)
+    n = 80
+    g = path_graph(n)
+    tree = bfs_tree(g, 0)
+    # All nodes fire at t=0 and again at t=0.5; with delay 0.01 per link
+    # the first sends arrive long before the second wave's initiations.
+    sched = RequestSchedule(
+        [(v, 0.0) for v in range(n)] + [(v, 0.5) for v in range(n)]
+    )
+    kw = dict(latency=ScaledWeightLatency(0.01), seed=2)
+    a = run_arrow_fast(g, tree, sched, **kw)
+    b = run_arrow_batch(g, tree, sched, **kw)
+    assert_identical(a, b)
+    assert counter.calls >= 1
+    assert counter.committed < counter.candidates  # truncation happened
+
+
+def test_slab_truncation_rewinds_stochastic_draws(monkeypatch):
+    """Speculative draws of truncated sends must be un-consumed exactly."""
+    monkeypatch.setattr(batch, "_SLAB_MIN", 8)
+    monkeypatch.setattr(batch, "_BLOCK", 16)  # refills inside held marks
+    counter = _SlabCounter(monkeypatch)
+    n = 64
+    g = path_graph(n)
+    tree = bfs_tree(g, 0)
+    sched = RequestSchedule(
+        [(v, 0.002 * i) for i, v in enumerate(range(n))]
+        + [(v, 0.5 + 0.002 * i) for i, v in enumerate(range(n))]
+    )
+    kw = dict(latency=UniformLatency(0.005, 0.05), seed=7)
+    a = run_arrow_fast(g, tree, sched, **kw)
+    b = run_arrow_batch(g, tree, sched, **kw)
+    assert_identical(a, b)
+    assert counter.calls >= 1
+    assert counter.committed < counter.candidates
+
+
+def test_slab_local_find_chains_and_duplicate_nodes(monkeypatch):
+    """Repeated nodes inside one slab chain as local finds, preds intact."""
+    monkeypatch.setattr(batch, "_SLAB_MIN", 4)
+    counter = _SlabCounter(monkeypatch)
+    g = complete_graph(8)
+    tree = balanced_binary_overlay(g, 0)
+    # Many same-instant requests at few nodes: slab must replay the
+    # first-send-then-local-chain semantics per node.
+    sched = RequestSchedule(
+        [(3, 0.0)] * 5 + [(5, 0.0)] * 4 + [(3, 0.0)] * 2 + [(0, 0.0)] * 3
+    )
+    a = run_arrow_fast(g, tree, sched)
+    b = run_arrow_batch(g, tree, sched)
+    assert_identical(a, b)
+    assert counter.calls >= 1
+    preds = {rid: rec.predecessor for rid, rec in b.completions.items()}
+    # The second wave of node 3's requests chains behind the first.
+    assert preds[1] == 0 and preds[2] == 1
+
+
+def test_max_events_crossing_inside_a_slab():
+    """The livelock guard fires even when the limit lands mid-slab."""
+    n = 200
+    g = balanced_binary_tree_graph(n)
+    tree = bfs_tree(g, 0)
+    sched = one_shot(list(range(n)))
+    full = run_arrow_fast(g, tree, sched)
+    needed = full.network_stats["messages_sent"] + len(sched)
+    for limit in (needed, needed - 1, n // 2, 5):
+        outcomes = []
+        for fn in (run_arrow_fast, run_arrow_batch):
+            try:
+                fn(g, tree, sched, max_events=limit)
+                outcomes.append("ok")
+            except SimulationError:
+                outcomes.append("raised")
+        assert outcomes[0] == outcomes[1], (limit, outcomes)
+
+
+def test_service_time_slab_parity(monkeypatch):
+    """The tagged (service > 0) drain uses slabs too."""
+    monkeypatch.setattr(batch, "_SLAB_MIN", 8)
+    counter = _SlabCounter(monkeypatch)
+    g = complete_graph(40)
+    tree = balanced_binary_overlay(g, 0)
+    sched = one_shot(list(range(40)))
+    kw = dict(service_time=0.25)
+    a = run_arrow_fast(g, tree, sched, **kw)
+    b = run_arrow_batch(g, tree, sched, **kw)
+    assert_identical(a, b)
+    assert counter.calls >= 1
+
+
+# ----------------------------------------------------------------------
+# model dispatch
+# ----------------------------------------------------------------------
+class _JitteredUniform(UniformLatency):
+    """Stochastic subclass overriding sample: must NOT get the block path."""
+
+    def sample(self, src, dst, weight, rng):
+        return weight * rng.uniform(self.lo, self.hi) + 0.001 * ((src + dst) % 3)
+
+
+class _ShiftedUnit(UnitLatency):
+    """Deterministic subclass overriding sample: must NOT get np.ones."""
+
+    def sample(self, src, dst, weight, rng):
+        return 1.0 + 0.01 * (src % 5)
+
+    def max_delay(self, weight):
+        return 1.05
+
+
+@pytest.mark.parametrize("latency", [_JitteredUniform(0.2, 1.0), _ShiftedUnit()])
+def test_subclassed_models_take_the_exact_fallback(latency):
+    """Exact-type dispatch: subclasses run per-call sample, still identical."""
+    g = complete_graph(16)
+    tree = balanced_binary_overlay(g, 0)
+    sched = poisson(16, 120, rate=8.0, seed=5)
+    kw = dict(latency=latency, seed=6)
+    a = run_arrow_fast(g, tree, sched, **kw)
+    b = run_arrow_batch(g, tree, sched, **kw)
+    assert_identical(a, b)
+    # And the results must differ from the base class's, or the override
+    # was silently ignored somewhere.
+    base = type(latency).__mro__[1]()
+    assert b.makespan != run_arrow_batch(
+        g, tree, sched, latency=base, seed=6
+    ).makespan
+
+
+@pytest.mark.parametrize(
+    "latency",
+    [UnitLatency(), WeightLatency(), ScaledWeightLatency(1.7)],
+)
+def test_det_tables_match_fast_engine(latency):
+    """Vectorized delay tables carry the exact floats of the scalar build."""
+    g = complete_graph(30)
+    tree = balanced_binary_overlay(g, 0)
+    fast = FastArrowEngine(g, tree, latency=latency, seed=1)
+    vec = BatchArrowEngine(g, tree, latency=latency, seed=1)
+    assert vec._det_up == fast._det_up
+    assert vec._det_down == fast._det_down
+
+
+def test_stochastic_engine_is_reusable():
+    """Each run re-seeds its sampler: repeat runs are identical."""
+    g = complete_graph(12)
+    tree = balanced_binary_overlay(g, 0)
+    eng = BatchArrowEngine(g, tree, latency=ExponentialCappedLatency(), seed=9)
+    sched = poisson(12, 60, rate=6.0, seed=0)
+    first = eng.run(sched)
+    second = eng.run(sched)
+    assert_identical(first, second)
+    assert_identical(
+        first,
+        run_arrow_fast(g, tree, sched, latency=ExponentialCappedLatency(), seed=9),
+    )
+
+
+# ----------------------------------------------------------------------
+# registry + sweep integration
+# ----------------------------------------------------------------------
+def test_arrow_runner_resolves_batch():
+    assert arrow_runner("batch") is run_arrow_batch
+    with pytest.raises(ValueError):
+        arrow_runner("vectorized")
+
+
+def test_closed_loop_batch_smoke_against_fast():
+    g = complete_graph(10)
+    tree = balanced_binary_overlay(g, 0)
+    kw = dict(requests_per_proc=6, think_time=0.2, service_time=0.1, seed=4)
+    assert closed_loop_arrow_batch(g, tree, **kw) == closed_loop_arrow_fast(
+        g, tree, **kw
+    )
+
+
+def test_sweep_cells_run_identically_on_batch_engine():
+    """Sweep rows must be engine-independent modulo the engine column."""
+    from repro.sweep import execute_cell, smoke_grid
+
+    fast_rows = [execute_cell(c) for c in smoke_grid(engine="fast").cells()]
+    batch_rows = [execute_cell(c) for c in smoke_grid(engine="batch").cells()]
+    for f, b in zip(fast_rows, batch_rows):
+        assert f.pop("engine") == "fast"
+        assert b.pop("engine") == "batch"
+        assert f == b
+
+
+def test_sweep_spec_accepts_batch_rejects_unknown():
+    from repro.errors import ScheduleError
+    from repro.sweep import smoke_grid
+
+    assert smoke_grid(engine="batch").engine == "batch"
+    with pytest.raises(ScheduleError):
+        smoke_grid(engine="turbo")
+
+
+def test_closed_loop_sweep_cell_on_batch_engine():
+    from repro.sweep import execute_cell, fig10_grid
+
+    spec_f = fig10_grid(sizes=(6,), requests_per_proc=10, engine="fast")
+    spec_b = fig10_grid(sizes=(6,), requests_per_proc=10, engine="batch")
+    for cf, cb in zip(spec_f.cells(), spec_b.cells()):
+        f = execute_cell(cf)
+        b = execute_cell(cb)
+        f.pop("engine")
+        b.pop("engine")
+        assert f == b

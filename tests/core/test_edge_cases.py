@@ -1,6 +1,5 @@
 """Edge cases across the protocol stack."""
 
-import pytest
 
 from repro.core.queueing import verify_total_order
 from repro.core.requests import RequestSchedule

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.arrow import ArrowNode
-from repro.core.requests import RequestSchedule
 from repro.core.stabilize import (
     count_sinks,
     find_violations,
@@ -11,7 +10,7 @@ from repro.core.stabilize import (
     sink_reached_from,
     stabilize,
 )
-from repro.graphs import path_graph, random_geometric_graph
+from repro.graphs import random_geometric_graph
 from repro.net.network import Network
 from repro.sim.kernel import Simulator
 from repro.spanning import SpanningTree, bfs_tree

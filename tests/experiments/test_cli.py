@@ -99,3 +99,83 @@ def test_sweep_command_rejects_fig11_flags_on_other_grids(tmp_path):
     with pytest.raises(SystemExit):
         main(["sweep", "--grid", "smoke", "--sizes", "4,8",
               "--out", str(tmp_path / "x.jsonl")])
+
+
+def test_sweep_command_batch_engine_rows_match_fast(tmp_path):
+    fast = tmp_path / "fast.jsonl"
+    bat = tmp_path / "batch.jsonl"
+    base = ["sweep", "--grid", "smoke", "--out"]
+    assert main(base + [str(fast), "--engine", "fast"]) == 0
+    assert main(base + [str(bat), "--engine", "batch", "--workers", "2"]) == 0
+    f_docs = [json.loads(line) for line in fast.read_text().strip().split("\n")]
+    b_docs = [json.loads(line) for line in bat.read_text().strip().split("\n")]
+    for f, b in zip(f_docs, b_docs):
+        assert f.pop("engine") == "fast"
+        assert b.pop("engine") == "batch"
+        assert f == b
+
+
+def test_fig10_batch_engine_command(capsys):
+    assert main(["fig10", "--procs", "2,6", "--requests-per-proc", "10",
+                 "--engine", "batch"]) == 0
+    assert "centralized" in capsys.readouterr().out
+
+
+def test_sweep_verify_accepts_identical_files(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    assert main(["sweep", "--grid", "smoke", "--engine", "fast",
+                 "--out", str(a)]) == 0
+    assert main(["sweep", "--grid", "smoke", "--engine", "batch",
+                 "--out", str(b)]) == 0
+    capsys.readouterr()
+    assert main(["sweep-verify", "--a", str(a), "--b", str(b),
+                 "--expect-cells", "4"]) == 0
+    assert "4 rows identical" in capsys.readouterr().out
+
+
+def test_sweep_verify_flags_divergent_rows(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    assert main(["sweep", "--grid", "smoke", "--out", str(a)]) == 0
+    rows = [json.loads(line) for line in a.read_text().strip().split("\n")]
+    rows[1]["makespan"] += 1.0
+    b.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+    capsys.readouterr()
+    assert main(["sweep-verify", "--a", str(a), "--b", str(b)]) == 1
+    err = capsys.readouterr().err
+    assert "makespan" in err and "FAILED" in err
+
+
+def test_sweep_verify_flags_wrong_cell_count(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    assert main(["sweep", "--grid", "smoke", "--out", str(a)]) == 0
+    capsys.readouterr()
+    assert main(["sweep-verify", "--a", str(a), "--b", str(a),
+                 "--expect-cells", "7"]) == 1
+    assert "expected 7 rows" in capsys.readouterr().err
+
+
+def test_sweep_verify_flags_corrupt_histogram(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    assert main(["sweep", "--grid", "smoke", "--out", str(a)]) == 0
+    rows = [json.loads(line) for line in a.read_text().strip().split("\n")]
+    rows[0]["latency_hist"][0] += 2  # mass no longer matches requests
+    b = tmp_path / "b.jsonl"
+    b.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+    capsys.readouterr()
+    assert main(["sweep-verify", "--a", str(b), "--b", str(b)]) == 1
+    assert "latency_hist" in capsys.readouterr().err
+
+
+def test_sweep_verify_flags_torn_trailing_line(tmp_path, capsys):
+    """A killed run's torn tail must FAIL verification (resume tolerates
+    it, but a verification primitive exists to catch exactly that)."""
+    a = tmp_path / "a.jsonl"
+    assert main(["sweep", "--grid", "smoke", "--out", str(a)]) == 0
+    b = tmp_path / "b.jsonl"
+    b.write_text(a.read_text() + '{"cell_id": "torn', encoding="utf-8")
+    capsys.readouterr()
+    assert main(["sweep-verify", "--a", str(a), "--b", str(b)]) == 1
+    err = capsys.readouterr().err
+    assert "corrupt JSONL row" in err

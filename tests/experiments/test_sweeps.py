@@ -1,6 +1,5 @@
 """Experiment-harness tests: theorem sweeps and ablations at small scale."""
 
-import pytest
 
 from repro.experiments.ablations import (
     run_protocol_ablation,

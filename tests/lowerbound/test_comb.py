@@ -1,6 +1,5 @@
 """Unit tests for the comb MST bound."""
 
-import pytest
 
 from repro.core.requests import RequestSchedule
 from repro.lowerbound.comb import comb_cost_bound_formula, comb_mst_weight, comb_order

@@ -1,6 +1,5 @@
 """Unit tests for latency models."""
 
-import numpy as np
 import pytest
 
 from repro.errors import NetworkError

@@ -38,7 +38,7 @@ from repro.graphs.generators import (
     star_graph,
 )
 from repro.net.latency import UniformLatency, UnitLatency
-from repro.spanning.construct import bfs_tree, random_spanning_tree
+from repro.spanning.construct import random_spanning_tree
 
 GRAPHS = {
     "path": lambda: path_graph(9),

@@ -1,10 +1,9 @@
 """Property-based tests for the substrate data structures."""
 
-import math
 
 from hypothesis import given, settings, strategies as st
 
-from repro.graphs import Graph, bfs_distances
+from repro.graphs import bfs_distances
 from repro.sim.events import EventQueue
 from repro.spanning import SpanningTree, UnionFind
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TreeError
-from repro.graphs import bfs_distances, path_graph, random_geometric_graph
+from repro.graphs import bfs_distances, random_geometric_graph
 from repro.spanning import SpanningTree, mst_prim
 
 

@@ -5,7 +5,6 @@ bins and percentiles must be byte-identical across worker counts and
 across resume-from-partial, for open- and closed-loop cells alike.
 """
 
-import json
 
 import pytest
 
