@@ -72,6 +72,28 @@ class DirectoryResult:
         gaps = [a2 - r1 for (_, r1, _), (a2, _, _) in zip(ordered, ordered[1:])]
         return sum(gaps) / len(gaps)
 
+    def row_metrics(self) -> dict[str, object]:
+        """Sweep-row view of this run (scale-free, wall clock excluded).
+
+        The ``exclusion_ok`` column persists the mutual-exclusion
+        invariant with every row, so a sweep file is auditable after the
+        fact — ``sweep-verify``/``sweep-merge`` consumers can refuse
+        files whose rows carry ``false`` without re-running anything.
+        """
+        return {
+            "protocol": self.protocol,
+            "requests": self.total_acquisitions,
+            "makespan": self.makespan,
+            "messages_sent": self.messages_sent,
+            "msgs_per_acquisition": (
+                self.messages_sent / self.total_acquisitions
+                if self.total_acquisitions
+                else 0.0
+            ),
+            "mean_wait": self.mean_wait,
+            "exclusion_ok": self.exclusion_holds(),
+        }
+
 
 class _ObjectState:
     """Shared bookkeeping: who holds the object, who comes next."""

@@ -43,6 +43,21 @@ def _int_list(text: str) -> list[int]:
     return [int(x) for x in text.split(",") if x]
 
 
+def _shard(text: str) -> tuple[int, int]:
+    """Parse and range-check ``I/M`` (shard index/count) for ``--shard``."""
+    try:
+        index, count = (int(part) for part in text.split("/"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected I/M (e.g. 0/4), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must satisfy 0 <= I < M, got {text!r}"
+        )
+    return index, count
+
+
 def _emit(results, args) -> None:
     docs = []
     for r in results:
@@ -122,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
     pdir = sub.add_parser("directory", help="arrow vs home-based directory (5.1)")
     pdir.add_argument("--procs", type=_int_list, default=None)
     pdir.add_argument("--acquisitions-per-proc", type=int, default=50)
+    pdir.add_argument("--workers", type=int, default=1)
 
     sub.add_parser("oneshot", help="one-shot concurrent case ([10])")
     sub.add_parser("sequential", help="sequential-regime baseline checks")
@@ -132,17 +148,23 @@ def main(argv: list[str] | None = None) -> int:
         "sweep", help="declarative parameter sweep over graphs/trees/schedules"
     )
     psw.add_argument(
-        "--grid", choices=["fig10", "fig11", "mixed", "smoke"], default="smoke",
-        help="named grid preset (fig10 = closed-loop arrow vs centralized)",
+        "--grid",
+        choices=["fig10", "fig11", "mixed", "smoke", "directory"],
+        default="smoke",
+        help="named grid preset (fig10 = closed-loop arrow vs centralized, "
+             "directory = §5.1 arrow vs home-based directory)",
     )
     psw.add_argument("--sizes", type=_int_list, default=None,
-                     help="system sizes (fig10/fig11 grids only)")
+                     help="system sizes (fig10/fig11/directory grids only)")
     psw.add_argument("--per-node", type=int, default=None,
                      help="requests per node (fig11 grid only)")
     psw.add_argument("--requests-per-proc", type=int, default=None,
                      help="closed-loop requests per processor (fig10 grid only)")
     psw.add_argument("--think-time", type=float, default=None,
                      help="closed-loop think time (fig10 grid only)")
+    psw.add_argument("--acquisitions-per-proc", type=int, default=None,
+                     help="directory acquisitions per processor "
+                          "(directory grid only)")
     psw.add_argument("--seeds", type=_int_list, default=None)
     psw.add_argument("--engine", choices=["fast", "message", "batch"],
                      default="fast")
@@ -150,6 +172,10 @@ def main(argv: list[str] | None = None) -> int:
     psw.add_argument("--out", default="sweep.jsonl", help="JSONL output path")
     psw.add_argument("--no-resume", action="store_true",
                      help="discard existing rows instead of resuming")
+    psw.add_argument("--shard", type=_shard, default=None, metavar="I/M",
+                     help="run only shard I of M (cells with index %% M == I) "
+                          "into a per-shard file derived from --out; "
+                          "reassemble with sweep-merge")
 
     psv = sub.add_parser(
         "sweep-verify",
@@ -163,6 +189,16 @@ def main(argv: list[str] | None = None) -> int:
                           "comparison (default: engine)")
     psv.add_argument("--expect-cells", type=int, default=None,
                      help="also require exactly this many rows per file")
+
+    psm = sub.add_parser(
+        "sweep-merge",
+        help="merge sharded sweep JSONL files back into grid order, "
+             "verifying completeness and row-shape invariants",
+    )
+    psm.add_argument("shards", nargs="+", help="per-shard JSONL files")
+    psm.add_argument("--out", required=True, help="merged JSONL output path")
+    psm.add_argument("--expect-cells", type=int, default=None,
+                     help="require exactly this many rows across all shards")
 
     args = top.parse_args(argv)
 
@@ -255,7 +291,9 @@ def main(argv: list[str] | None = None) -> int:
         _emit(
             [
                 run_directory_comparison(
-                    args.procs, acquisitions_per_proc=args.acquisitions_per_proc
+                    args.procs,
+                    acquisitions_per_proc=args.acquisitions_per_proc,
+                    workers=args.workers,
                 )
             ],
             args,
@@ -271,21 +309,25 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.cmd == "sweep":
         from repro.sweep import (
+            directory_grid,
             fig10_grid,
             fig11_grid,
             mixed_grid,
             run_sweep,
+            shard_path,
             smoke_grid,
         )
 
-        if args.grid not in ("fig10", "fig11") and args.sizes:
-            psw.error("--sizes only applies to --grid fig10/fig11")
+        if args.grid not in ("fig10", "fig11", "directory") and args.sizes:
+            psw.error("--sizes only applies to --grid fig10/fig11/directory")
         if args.grid != "fig11" and args.per_node is not None:
             psw.error("--per-node only applies to --grid fig11")
         if args.grid != "fig10" and (
             args.requests_per_proc is not None or args.think_time is not None
         ):
             psw.error("--requests-per-proc/--think-time only apply to --grid fig10")
+        if args.grid != "directory" and args.acquisitions_per_proc is not None:
+            psw.error("--acquisitions-per-proc only applies to --grid directory")
         # Omitted flags fall through to the preset's own defaults.
         kwargs: dict = {"engine": args.engine}
         if args.seeds:
@@ -302,15 +344,26 @@ def main(argv: list[str] | None = None) -> int:
             if args.per_node is not None:
                 kwargs["per_node"] = args.per_node
             spec = fig11_grid(**kwargs)
+        elif args.grid == "directory":
+            if args.acquisitions_per_proc is not None:
+                kwargs["acquisitions_per_proc"] = args.acquisitions_per_proc
+            spec = directory_grid(**kwargs)
         elif args.grid == "mixed":
             spec = mixed_grid(**kwargs)
         else:
             spec = smoke_grid(**kwargs)
+        out = args.out
+        if args.shard is not None:
+            out = shard_path(args.out, *args.shard)
         summary = run_sweep(
-            spec, args.out, workers=args.workers, resume=not args.no_resume
+            spec, out, workers=args.workers, resume=not args.no_resume,
+            shard=args.shard,
+        )
+        shard_note = (
+            f" (shard {summary['shard']})" if summary["shard"] is not None else ""
         )
         print(
-            f"sweep {summary['spec']}: {summary['written']} written, "
+            f"sweep {summary['spec']}{shard_note}: {summary['written']} written, "
             f"{summary['skipped']} skipped of {summary['cells']} cells "
             f"-> {summary['path']}"
         )
@@ -333,6 +386,32 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print(f"sweep-verify OK: {rows} rows identical across {args.a} and {args.b}")
+    elif args.cmd == "sweep-merge":
+        from repro.sweep.persist import merge_shards
+
+        if args.expect_cells is None:
+            print(
+                "sweep-merge: warning: without --expect-cells a shard that "
+                "lost only trailing cells is undetectable; pass the grid's "
+                "cell count to certify completeness",
+                file=sys.stderr,
+            )
+        rows, problems = merge_shards(
+            args.shards, args.out, expect_cells=args.expect_cells
+        )
+        if problems:
+            for p in problems:
+                print(p, file=sys.stderr)
+            print(
+                f"sweep-merge FAILED: {len(problems)} problem(s) across "
+                f"{len(args.shards)} shard(s); {args.out} not written",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"sweep-merge OK: {rows} rows from {len(args.shards)} shard(s) "
+            f"-> {args.out}"
+        )
     elif args.cmd == "all":
         _emit(
             [

@@ -29,7 +29,7 @@ from typing import Callable
 from repro.core.arrow import CompletionCallback
 from repro.core.queueing import CompletionRecord, RunResult
 from repro.core.requests import ROOT_RID, RequestSchedule
-from repro.errors import ProtocolError
+from repro.errors import GraphError, ProtocolError
 from repro.graphs.graph import Graph
 from repro.net.latency import LatencyModel, UnitLatency
 from repro.net.message import Message
@@ -116,6 +116,10 @@ def run_adaptive(
     The graph should be complete (the protocols' stated assumption); the
     runner only requires that routed messages can reach every node.
     """
+    if not 0 <= root < graph.num_nodes:
+        raise GraphError(
+            f"root {root} outside the graph's nodes 0..{graph.num_nodes - 1}"
+        )
     schedule.validate_nodes(graph.num_nodes)
     sim = Simulator(max_events=max_events)
     net = Network(

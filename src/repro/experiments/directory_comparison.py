@@ -4,17 +4,61 @@ Herlihy & Warres compared the two directory designs over 2–16 processing
 elements and observed the arrow directory outperforming the home-based
 one across the range (their measurements include the object-transfer
 cost, unlike the pure queuing measurements of Fig. 10).  This experiment
-reproduces that comparison on the simulated testbed.
+reproduces that comparison on the simulated testbed; per-size points are
+independent and route through :func:`repro.sweep.executor.map_jobs`, so
+``workers > 1`` fans the system sizes out over processes.  The same
+comparison is available as a declarative grid — including the
+mutual-exclusion invariant persisted per row — via
+``repro-arrow sweep --grid directory`` (see
+:func:`repro.sweep.spec.directory_grid`).
 """
 
 from __future__ import annotations
 
 from repro.apps.directory import arrow_directory, home_directory
+from repro.errors import ProtocolError
 from repro.experiments.records import ExperimentResult, Series
 from repro.graphs.generators import complete_graph
 from repro.spanning.construct import balanced_binary_overlay
+from repro.sweep.executor import map_jobs
 
 __all__ = ["run_directory_comparison"]
+
+
+def _directory_cell(
+    job: tuple[int, int, float, float, int]
+) -> tuple[float, float, float, float]:
+    """One system size: (arrow makespan, home makespan, msgs/acq each)."""
+    n, acquisitions_per_proc, cs_time, service_time, seed = job
+    g = complete_graph(n)
+    tree = balanced_binary_overlay(g, root=0)
+    a = arrow_directory(
+        g,
+        tree,
+        acquisitions_per_proc=acquisitions_per_proc,
+        cs_time=cs_time,
+        service_time=service_time,
+        seed=seed,
+    )
+    h = home_directory(
+        g,
+        0,
+        acquisitions_per_proc=acquisitions_per_proc,
+        cs_time=cs_time,
+        service_time=service_time,
+        seed=seed,
+    )
+    if not (a.exclusion_holds() and h.exclusion_holds()):
+        raise ProtocolError(
+            f"mutual exclusion violated at n={n} "
+            f"(arrow ok: {a.exclusion_holds()}, home ok: {h.exclusion_holds()})"
+        )
+    return (
+        a.makespan,
+        h.makespan,
+        a.messages_sent / a.total_acquisitions,
+        h.messages_sent / h.total_acquisitions,
+    )
 
 
 def run_directory_comparison(
@@ -24,37 +68,18 @@ def run_directory_comparison(
     cs_time: float = 0.5,
     service_time: float = 0.1,
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Total completion time of both directories vs system size (2-16 PEs)."""
     procs = proc_counts if proc_counts is not None else [2, 4, 8, 12, 16]
-    arrow_t: list[float] = []
-    home_t: list[float] = []
-    arrow_msgs: list[float] = []
-    home_msgs: list[float] = []
-    for n in procs:
-        g = complete_graph(n)
-        tree = balanced_binary_overlay(g, root=0)
-        a = arrow_directory(
-            g,
-            tree,
-            acquisitions_per_proc=acquisitions_per_proc,
-            cs_time=cs_time,
-            service_time=service_time,
-            seed=seed,
-        )
-        h = home_directory(
-            g,
-            0,
-            acquisitions_per_proc=acquisitions_per_proc,
-            cs_time=cs_time,
-            service_time=service_time,
-            seed=seed,
-        )
-        assert a.exclusion_holds() and h.exclusion_holds()
-        arrow_t.append(a.makespan)
-        home_t.append(h.makespan)
-        arrow_msgs.append(a.messages_sent / a.total_acquisitions)
-        home_msgs.append(h.messages_sent / h.total_acquisitions)
+    jobs = [
+        (n, acquisitions_per_proc, cs_time, service_time, seed) for n in procs
+    ]
+    points = map_jobs(_directory_cell, jobs, workers=workers)
+    arrow_t = [p[0] for p in points]
+    home_t = [p[1] for p in points]
+    arrow_msgs = [p[2] for p in points]
+    home_msgs = [p[3] for p in points]
     xs = [float(p) for p in procs]
     return ExperimentResult(
         experiment_id="directory",

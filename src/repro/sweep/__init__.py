@@ -4,19 +4,48 @@ The sweep subsystem turns the experiment layer's hand-rolled parameter
 loops into data: a :class:`~repro.sweep.spec.SweepSpec` declares a grid
 (graph family × tree strategy × schedule family × seeds), the executor
 expands it into cells with deterministic per-cell seeds, runs them —
-optionally across worker processes — through the fast or the
-message-level engines, and persists one JSONL row per cell with
-resume-from-partial support.  The schedule axis accepts both open-loop
-request schedules and the §5 closed-loop workloads (``closed_arrow``,
-``closed_centralized``); every row carries per-request latency
-percentile and histogram columns (:mod:`repro.sweep.stats`).
+optionally across worker processes, optionally as one shard of a
+partitioned grid — and persists one JSONL row per cell with
+resume-from-partial support.
+
+What each schedule-axis name *means* is pluggable: the cell-family
+registry (:mod:`repro.sweep.registry`) maps names to a validator,
+builder and runner-to-row, with the open-loop arrow replays, the §5
+closed loops (``closed_arrow``/``closed_centralized``), the §5.1
+directory designs (``directory_arrow``/``directory_home``) and the §1.1
+adaptive-pointer baseline registered out of the box
+(:mod:`repro.sweep.families`).  Rows from the arrow families carry
+per-request latency percentile and histogram columns
+(:mod:`repro.sweep.stats`); directory rows persist the mutual-exclusion
+invariant as ``exclusion_ok``.  Sharded runs are reassembled — with
+completeness and row-shape verification — by
+:func:`~repro.sweep.persist.merge_shards`.
 """
 
-from repro.sweep.executor import execute_cell, map_jobs, run_sweep
-from repro.sweep.persist import completed_ids, diff_rows, dumps_row, iter_rows
+from repro.sweep.executor import (
+    execute_cell,
+    iter_sweep,
+    map_jobs,
+    run_sweep,
+    shard_path,
+)
+from repro.sweep.persist import (
+    completed_ids,
+    diff_rows,
+    dumps_row,
+    iter_rows,
+    merge_shards,
+)
+from repro.sweep.registry import (
+    CellFamily,
+    family_names,
+    get_family,
+    register_family,
+)
 from repro.sweep.spec import (
     CLOSED_LOOP_FAMILIES,
     GRAPH_BUILDERS,
+    OPEN_LOOP_SCHEDULES,
     SCHEDULE_BUILDERS,
     TREE_BUILDERS,
     GraphSpec,
@@ -27,6 +56,7 @@ from repro.sweep.spec import (
     build_schedule,
     build_tree,
     cell_seed,
+    directory_grid,
     fig10_grid,
     fig11_grid,
     mixed_grid,
@@ -39,25 +69,34 @@ __all__ = [
     "ScheduleSpec",
     "SweepCell",
     "SweepSpec",
+    "CellFamily",
+    "register_family",
+    "get_family",
+    "family_names",
     "CLOSED_LOOP_FAMILIES",
     "GRAPH_BUILDERS",
+    "OPEN_LOOP_SCHEDULES",
     "TREE_BUILDERS",
     "SCHEDULE_BUILDERS",
     "build_graph",
     "build_tree",
     "build_schedule",
     "cell_seed",
+    "directory_grid",
     "fig10_grid",
     "fig11_grid",
     "mixed_grid",
     "smoke_grid",
     "execute_cell",
+    "iter_sweep",
     "map_jobs",
     "run_sweep",
+    "shard_path",
     "completed_ids",
     "diff_rows",
     "dumps_row",
     "iter_rows",
+    "merge_shards",
     "DEFAULT_BINS",
     "latency_columns",
     "percentile_nearest_rank",

@@ -7,33 +7,38 @@ on the cell's axes and master seed (wall-clock timings never enter the
 persisted rows).  Running the same spec with 1 or 16 workers therefore
 produces byte-identical JSONL.
 
+What a cell *does* is not the executor's business: each schedule-axis
+name resolves to a :class:`~repro.sweep.registry.CellFamily` (builder +
+runner-to-row), so the open-loop arrow replays, the §5 closed loops, the
+§5.1 directory designs and the §1.1 adaptive baseline — plus any family
+registered by third-party code — all execute through the same three
+lines of :func:`execute_cell`.
+
 ``map_jobs`` is the generic ordered parallel map the experiment layer
 routes its own parameter loops through (see
-:mod:`repro.experiments.fig10` et al.); ``run_sweep`` adds persistence
-and resume on top of it for declarative grids.
+:mod:`repro.experiments.fig10` et al.); ``run_sweep`` adds persistence,
+resume and sharding on top of it for declarative grids.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
-from repro.core.fast_arrow import arrow_runner
-from repro.core.fast_closed_loop import closed_loop_runner
+from repro.errors import SweepError
 from repro.sweep import persist
-from repro.sweep.spec import (
-    CLOSED_LOOP_FAMILIES,
-    SweepCell,
-    SweepSpec,
-    build_graph,
-    build_schedule,
-    build_tree,
-    cell_seed,
-)
-from repro.sweep.stats import latency_columns
+from repro.sweep.registry import get_family
+from repro.sweep.spec import SweepCell, SweepSpec, cell_seed
 
-__all__ = ["execute_cell", "map_jobs", "iter_sweep", "run_sweep"]
+__all__ = [
+    "execute_cell",
+    "map_jobs",
+    "iter_sweep",
+    "run_sweep",
+    "shard_path",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -75,7 +80,7 @@ def _imap_jobs(
 # cell execution
 # ----------------------------------------------------------------------
 def _axis_columns(cell: SweepCell, derived: int) -> dict[str, Any]:
-    """The identity columns every row carries, open- or closed-loop."""
+    """The identity columns every row carries, whatever its family."""
     return {
         "cell_id": cell.cell_id,
         "index": cell.index,
@@ -92,90 +97,94 @@ def _axis_columns(cell: SweepCell, derived: int) -> dict[str, Any]:
 def execute_cell(cell: SweepCell) -> dict[str, Any]:
     """Instantiate and run one cell; return its persistable result row.
 
-    The row carries the cell's axes, scale-free metrics, and the
-    per-request latency distribution (percentiles + histogram bins from
-    :func:`repro.sweep.stats.latency_columns`); everything is a
-    deterministic function of the cell, so rows are reproducible and
-    engine-independent (the fast, message and batch engines are
-    bit-identical).
-    Closed-loop cells (``closed_arrow`` / ``closed_centralized`` on the
-    schedule axis) run the §5 measurement loop instead of replaying a
-    request schedule.
+    The cell's schedule-axis family resolves to its registered
+    :class:`~repro.sweep.registry.CellFamily`, whose builder and
+    runner-to-row produce the metric columns; the executor prepends the
+    axis identity columns.  Everything is a deterministic function of the
+    cell, so rows are reproducible — and, for the arrow engines,
+    engine-independent (fast, message and batch are bit-identical;
+    message-level-only families like the §5.1 directories ignore the
+    engine axis entirely).
     """
-    if cell.schedule.family in CLOSED_LOOP_FAMILIES:
-        return _execute_closed_loop_cell(cell)
+    family = get_family(cell.schedule.family)
     derived = cell_seed(cell)
-    graph = build_graph(cell.graph, derived)
-    tree = build_tree(cell.tree, graph, derived)
-    schedule = build_schedule(cell.schedule, graph.num_nodes, derived)
-    runner = arrow_runner(cell.engine)
-    result = runner(
-        graph, tree, schedule, seed=derived, service_time=cell.service_time
-    )
-    latencies = [result.latency(rid) for rid in result.completions]
-    return {
-        **_axis_columns(cell, derived),
-        "n": graph.num_nodes,
-        "requests": len(schedule),
-        "makespan": result.makespan,
-        "total_latency": result.total_latency,
-        "mean_hops": result.mean_hops,
-        "local_find_fraction": result.local_find_fraction(),
-        "messages_sent": result.network_stats["messages_sent"],
-        "hops_total": result.network_stats["hops_total"],
-        **latency_columns(latencies),
-    }
+    return {**_axis_columns(cell, derived), **family.execute(cell, derived)}
 
 
-def _execute_closed_loop_cell(cell: SweepCell) -> dict[str, Any]:
-    """Run one closed-loop cell (arrow or centralized) through either engine."""
-    derived = cell_seed(cell)
-    graph = build_graph(cell.graph, derived)
-    params = cell.schedule.kwargs()
-    requests_per_proc = int(params.get("requests_per_proc", 100))
-    think_time = float(params.get("think_time", 0.0))
-    if cell.schedule.family == "closed_arrow":
-        runner = closed_loop_runner("arrow", cell.engine)
-        tree = build_tree(cell.tree, graph, derived)
-        result = runner(
-            graph,
-            tree,
-            requests_per_proc=requests_per_proc,
-            seed=derived,
-            service_time=cell.service_time,
-            think_time=think_time,
+# ----------------------------------------------------------------------
+# sharding
+# ----------------------------------------------------------------------
+def shard_path(path: str, shard_index: int, shard_count: int) -> str:
+    """Canonical per-shard output path derived from the merged path.
+
+    ``sweep.jsonl`` with shard 0/2 becomes ``sweep.shard0-2.jsonl`` —
+    the naming ``sweep-merge`` documentation assumes.
+    """
+    base, ext = os.path.splitext(path)
+    return f"{base}.shard{shard_index}-{shard_count}{ext}"
+
+
+def _check_shard(shard: tuple[int, int] | None) -> None:
+    if shard is None:
+        return
+    index, count = shard
+    if count < 1 or not 0 <= index < count:
+        raise SweepError(
+            f"shard must be i/m with 0 <= i < m, got {index}/{count}"
         )
-    else:
-        runner = closed_loop_runner("centralized", cell.engine)
-        center = int(params.get("center", 0))
-        result = runner(
-            graph,
-            center,
-            requests_per_proc=requests_per_proc,
-            seed=derived,
-            service_time=cell.service_time,
-            think_time=think_time,
-        )
-    return {
-        **_axis_columns(cell, derived),
-        "n": graph.num_nodes,
-        "requests": result.total_requests,
-        "makespan": result.makespan,
-        "total_latency": sum(result.latencies),
-        "mean_hops": result.mean_hops,
-        "local_find_fraction": result.local_find_fraction,
-        "messages_sent": result.messages_sent,
-        "hops_total": sum(result.hops),
-        **latency_columns(result.latencies),
-    }
+
+
+@contextlib.contextmanager
+def _exclusive_writer(path: str) -> Iterator[None]:
+    """Fail loudly if another live process is sweeping into ``path``.
+
+    Resume works because exactly one process owns a result file: two
+    appenders interleave torn lines, and compaction races a concurrent
+    append.  An ``flock`` on a ``<path>.lock`` sidecar (held for the whole
+    run, including compaction) turns that misuse — e.g. two hosts given
+    the same ``--shard`` index onto shared storage — into an immediate
+    :class:`SweepError` instead of silent corruption.  On platforms
+    without ``fcntl`` the guard is a no-op and single-writer discipline
+    is the caller's contract.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX
+        yield
+        return
+    fd = os.open(path + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            raise SweepError(
+                f"{path} is being written by another sweep process "
+                "(shard files must have exactly one writer; give each "
+                "shard its own --shard index and output path)"
+            ) from None
+        yield
+    finally:
+        os.close(fd)
 
 
 def iter_sweep(
-    spec: SweepSpec, *, workers: int = 1, skip: Iterable[str] = ()
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    skip: Iterable[str] = (),
+    shard: tuple[int, int] | None = None,
 ) -> Iterator[dict[str, Any]]:
-    """Execute a spec's cells in grid order, yielding rows as they finish."""
+    """Execute a spec's cells in grid order, yielding rows as they finish.
+
+    ``shard=(i, m)`` keeps only cells with ``index % m == i`` — the
+    round-robin partition ``sweep-merge`` reassembles into grid order.
+    """
+    _check_shard(shard)
     skip_set = set(skip)
     todo = [c for c in spec.cells() if c.cell_id not in skip_set]
+    if shard is not None:
+        index, count = shard
+        todo = [c for c in todo if c.index % count == index]
     yield from _imap_jobs(execute_cell, todo, workers=workers)
 
 
@@ -185,6 +194,7 @@ def run_sweep(
     *,
     workers: int = 1,
     resume: bool = True,
+    shard: tuple[int, int] | None = None,
 ) -> dict[str, Any]:
     """Run a sweep to a JSONL file; returns a small summary dict.
 
@@ -192,24 +202,36 @@ def run_sweep(
     ``out_path`` are skipped and new rows are appended — a partially
     written trailing line from a killed run is dropped first.  Without
     it the file is truncated and the whole grid re-runs.
+
+    With ``shard=(i, m)`` only the cells of shard ``i`` run; each shard
+    must write to its own file (see :func:`shard_path`), which a
+    ``sweep-merge`` stitches back into the grid-order equivalent of an
+    unsharded run.  A per-file lock enforces the one-writer-per-shard
+    contract on POSIX systems.
     """
-    if resume:
-        done = persist.compact(out_path)
-    else:
-        done = set()
-        if os.path.exists(out_path):
-            os.remove(out_path)
-    written = 0
-    with open(out_path, "a", encoding="utf-8") as fh:
-        for row in iter_sweep(spec, workers=workers, skip=done):
-            fh.write(persist.dumps_row(row) + "\n")
-            fh.flush()
-            written += 1
+    _check_shard(shard)
+    with _exclusive_writer(out_path):
+        if resume:
+            done = persist.compact(out_path)
+        else:
+            done = set()
+            if os.path.exists(out_path):
+                os.remove(out_path)
+        written = 0
+        with open(out_path, "a", encoding="utf-8") as fh:
+            for row in iter_sweep(spec, workers=workers, skip=done, shard=shard):
+                fh.write(persist.dumps_row(row) + "\n")
+                fh.flush()
+                written += 1
     total = spec.num_cells()
+    if shard is not None:
+        index, count = shard
+        total = len(range(index, total, count))
     return {
         "spec": spec.name,
         "path": out_path,
         "cells": total,
         "written": written,
         "skipped": total - written,
+        "shard": None if shard is None else f"{shard[0]}/{shard[1]}",
     }

@@ -11,11 +11,19 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Iterator
+from collections import Counter
+from typing import Any, Iterable, Iterator
 
 from repro.errors import ReproError
 
-__all__ = ["dumps_row", "iter_rows", "completed_ids", "compact", "diff_rows"]
+__all__ = [
+    "dumps_row",
+    "iter_rows",
+    "completed_ids",
+    "compact",
+    "diff_rows",
+    "merge_shards",
+]
 
 
 def dumps_row(row: dict[str, Any]) -> str:
@@ -23,26 +31,31 @@ def dumps_row(row: dict[str, Any]) -> str:
     return json.dumps(row, sort_keys=True, separators=(",", ":"))
 
 
-def iter_rows(path: str) -> Iterator[dict[str, Any]]:
-    """Yield the valid rows of a JSONL file.
+def _lenient_rows(lines: Iterable[str], path: str) -> Iterator[dict[str, Any]]:
+    """Resume-oriented row parse shared by :func:`iter_rows`/:func:`compact`.
 
     A corrupt *final* line is tolerated (partial write of an interrupted
     run); a corrupt line followed by more data indicates real damage and
     raises :class:`ReproError`.
     """
+    pending_error: str | None = None
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if pending_error is not None:
+            raise ReproError(pending_error)
+        try:
+            yield json.loads(stripped)
+        except json.JSONDecodeError:
+            # Defer: only an error if any non-empty line follows.
+            pending_error = f"{path}:{lineno}: corrupt JSONL row mid-file"
+
+
+def iter_rows(path: str) -> Iterator[dict[str, Any]]:
+    """Yield the valid rows of a JSONL file (lenient about a torn tail)."""
     with open(path, "r", encoding="utf-8") as fh:
-        pending_error: str | None = None
-        for lineno, line in enumerate(fh, 1):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            if pending_error is not None:
-                raise ReproError(pending_error)
-            try:
-                yield json.loads(stripped)
-            except json.JSONDecodeError:
-                # Defer: only an error if any non-empty line follows.
-                pending_error = f"{path}:{lineno}: corrupt JSONL row mid-file"
+        yield from _lenient_rows(fh, path)
 
 
 def _row_shape_problems(row: dict[str, Any], label: str) -> list[str]:
@@ -151,18 +164,130 @@ def completed_ids(path: str) -> set[str]:
 def compact(path: str) -> set[str]:
     """Drop a truncated trailing line in place; return the completed ids.
 
-    Rewrites the file only when needed (atomic replace), so resuming
-    after a kill leaves a clean append point.
+    The file is read **once** and the parsed rows are compared against
+    that same snapshot, then rewritten only when needed (atomic replace),
+    so resuming after a kill leaves a clean append point.  The
+    read-compare-rewrite is still not atomic with respect to a concurrent
+    appender — a row appended between the read and the replace would be
+    lost — so a result file must have exactly one writer at a time;
+    :func:`repro.sweep.executor.run_sweep` enforces that with a per-file
+    lock held across both this compaction and its own appends (the rule
+    matters doubly for sharded sweeps, where each shard file belongs to
+    exactly one shard index).
     """
     if not os.path.exists(path):
         return set()
-    rows = list(iter_rows(path))
-    text = "".join(dumps_row(r) + "\n" for r in rows)
     with open(path, "r", encoding="utf-8") as fh:
         current = fh.read()
+    rows = list(_lenient_rows(current.splitlines(), path))
+    text = "".join(dumps_row(r) + "\n" for r in rows)
     if current != text:
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(text)
         os.replace(tmp, path)
     return {row["cell_id"] for row in rows if "cell_id" in row}
+
+
+def merge_shards(
+    shard_paths: Iterable[str],
+    out_path: str,
+    *,
+    expect_cells: int | None = None,
+) -> tuple[int, list[str]]:
+    """Merge sharded sweep files back into grid order; return (rows, problems).
+
+    The shards of one grid partition its cells round-robin by index, so
+    their union must be exactly the contiguous index range ``0..N-1``
+    with no duplicates, and each file's indices must share one residue
+    modulo the shard count (mixing files from different shardings fails
+    here); every row must satisfy the executor's structural invariants
+    (:func:`_row_shape_problems`), and corrupt lines — including the torn
+    tail a killed shard leaves — are problems.
+
+    One gap is undetectable from row content alone: a shard that lost
+    only *trailing* cells, when no surviving row carries a higher index,
+    looks like a complete merge of a smaller grid.  Pass ``expect_cells``
+    (= ``SweepSpec.num_cells()``; the CLI's ``--expect-cells``) to close
+    it — without that the merge certifies internal consistency, not grid
+    completeness.
+
+    Only a clean merge is written (atomically) to ``out_path``; because
+    rows are serialised canonically and reordered by index, the merged
+    file is byte-identical to an unsharded run of the same grid.
+    """
+    shard_paths = list(shard_paths)
+    problems: list[str] = []
+    rows: list[dict[str, Any]] = []
+    residues: list[tuple[str, set[int]]] = []
+    for path in shard_paths:
+        if not os.path.exists(path):
+            problems.append(f"{path}: missing shard file")
+            continue
+        shard_rows = _strict_rows(path, problems)
+        for k, row in enumerate(shard_rows):
+            if not isinstance(row.get("index"), int):
+                problems.append(
+                    f"{path} row {k}: no integer 'index' column; "
+                    "not a sweep shard row"
+                )
+            problems.extend(_row_shape_problems(row, f"{path} row {k}"))
+        rows.extend(shard_rows)
+        residues.append(
+            (
+                path,
+                {
+                    row["index"] % len(shard_paths)
+                    for row in shard_rows
+                    if isinstance(row.get("index"), int)
+                },
+            )
+        )
+    # Round-robin partition: every file's indices share one residue
+    # modulo the shard count, and non-empty files cover distinct
+    # residues.  Catches files from a different sharding mixed in even
+    # when the union happens to be contiguous.
+    seen_residues: dict[int, str] = {}
+    for path, found in residues:
+        if len(found) > 1:
+            problems.append(
+                f"{path}: cell indices span residues {sorted(found)} modulo "
+                f"{len(shard_paths)} shards; not one shard of this grid"
+            )
+        for residue in found:
+            if residue in seen_residues:
+                problems.append(
+                    f"{path}: same shard residue {residue} as "
+                    f"{seen_residues[residue]} (shard passed twice?)"
+                )
+            seen_residues[residue] = path
+    rows = [r for r in rows if isinstance(r.get("index"), int)]
+    rows.sort(key=lambda r: r["index"])
+    indices = [r["index"] for r in rows]
+    if expect_cells is not None and len(rows) != expect_cells:
+        problems.append(
+            f"merge: expected {expect_cells} rows across shards, "
+            f"found {len(rows)}"
+        )
+    if indices != list(range(len(rows))):
+        counts = Counter(indices)
+        dupes = sorted(i for i, c in counts.items() if c > 1)
+        missing = sorted(set(range(len(indices))) - set(indices))
+        if dupes:
+            problems.append(
+                f"merge: duplicate cell indices across shards: {dupes} "
+                "(same shard run twice into different files?)"
+            )
+        if missing:
+            problems.append(
+                f"merge: missing cell indices {missing} "
+                "(a shard is absent or incomplete)"
+            )
+    if problems:
+        return len(rows), problems
+    tmp = out_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(dumps_row(row) + "\n")
+    os.replace(tmp, out_path)
+    return len(rows), problems

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ScheduleError
+from repro.errors import ScheduleError, SweepError
 from repro.sweep import (
     GraphSpec,
     ScheduleSpec,
@@ -11,6 +11,7 @@ from repro.sweep import (
     build_schedule,
     build_tree,
     cell_seed,
+    directory_grid,
     fig11_grid,
     mixed_grid,
     smoke_grid,
@@ -91,17 +92,18 @@ def test_relative_schedule_params_scale_with_n():
 
 
 def test_unknown_axis_values_rejected():
-    with pytest.raises(ScheduleError):
+    # SweepError subclasses ScheduleError, so both spellings catch these.
+    with pytest.raises(SweepError):
         GraphSpec.of("klein_bottle", n=8)
-    with pytest.raises(ScheduleError):
+    with pytest.raises(SweepError):
         GraphSpec.of("gnp", n=24, prob=0.3)  # generator kwarg typo
-    with pytest.raises(ScheduleError):
+    with pytest.raises(SweepError):
         ScheduleSpec.of("thundering_herd")
     with pytest.raises(ScheduleError):
         ScheduleSpec.of("poisson", rate_pernode=2.0)  # typo'd key fails loudly
-    with pytest.raises(ScheduleError):
+    with pytest.raises(SweepError):
         ScheduleSpec.of("one_shot", count=5)  # param the family ignores
-    with pytest.raises(ScheduleError):
+    with pytest.raises(SweepError):
         SweepSpec(
             name="bad",
             graphs=(GraphSpec.of("complete", n=4),),
@@ -109,8 +111,37 @@ def test_unknown_axis_values_rejected():
             schedules=(ScheduleSpec.of("one_shot"),),
             seeds=(0,),
         )
-    with pytest.raises(ScheduleError):
+    with pytest.raises(SweepError):
         smoke_grid(engine="warp")
+
+
+def test_explicit_zero_count_and_rate_rejected():
+    """count=0 / rate=0.0 used to be silently rerouted to the per-node
+    defaults by a falsy-fallback — running a different workload than the
+    cell id claimed.  Both validation layers must refuse them."""
+    # At spec-build time (the registry validator)...
+    with pytest.raises(SweepError):
+        ScheduleSpec.of("poisson", count=0)
+    with pytest.raises(SweepError):
+        ScheduleSpec.of("poisson", rate=0.0)
+    with pytest.raises(SweepError):
+        ScheduleSpec.of("hotspot", count=-3)
+    with pytest.raises(SweepError):
+        ScheduleSpec.of("poisson", per_node=0)
+    # ...and at build time for directly constructed specs.
+    with pytest.raises(SweepError):
+        build_schedule(ScheduleSpec("poisson", (("count", 0),)), 8, 0)
+    with pytest.raises(SweepError):
+        build_schedule(ScheduleSpec("poisson", (("rate", 0.0),)), 8, 0)
+    # Positive explicit values still win over the per-node defaults.
+    assert len(build_schedule(ScheduleSpec.of("poisson", count=7), 8, 0)) == 7
+
+
+def test_directory_grid_expands_both_designs():
+    spec = directory_grid(sizes=(2, 4), acquisitions_per_proc=5)
+    assert spec.num_cells() == 4
+    families = {c.schedule.family for c in spec.cells()}
+    assert families == {"directory_arrow", "directory_home"}
 
 
 def test_service_time_is_part_of_cell_identity():
