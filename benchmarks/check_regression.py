@@ -1,0 +1,111 @@
+"""Benchmark regression gate: fresh speedups vs the committed baseline.
+
+CI reruns ``benchmarks/test_batch_vs_fast_engine.py`` on every push,
+which rewrites ``BENCH_batch.json`` with freshly measured batch-vs-fast
+speedup ratios.  This script compares those fresh ratios against the
+committed baseline copy: any scenario whose speedup fell below
+``baseline * (1 - tolerance)`` — or that vanished from the fresh
+results — fails the gate with a named report, so a perf regression in
+the batch engine (or its dispatch path) turns the job red instead of
+silently eroding the archived trajectory.  Improvements beyond the
+tolerance are reported but never fail: the gate is one-sided, guarding
+the floor.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline bench_baseline.json --fresh BENCH_batch.json \
+        --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def compare(
+    baseline: dict, fresh: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Compare per-scenario speedups; return (report_lines, regressions)."""
+    report: list[str] = []
+    regressions: list[str] = []
+    for name in sorted(baseline):
+        base = baseline[name].get("speedup")
+        if name not in fresh:
+            regressions.append(
+                f"{name}: in baseline but missing from fresh results"
+            )
+            continue
+        new = fresh[name].get("speedup")
+        if not isinstance(base, (int, float)) or not isinstance(new, (int, float)):
+            regressions.append(f"{name}: speedup missing or non-numeric")
+            continue
+        if base < 1.0:
+            # Mirrors the bench suite's own floor policy: scenarios where
+            # the batch engine's contract is "no worse" (baseline below
+            # 1.0, e.g. the deterministic storm) are the most
+            # machine-sensitive ratios — parity is asserted in-suite, so
+            # here they are reported, not gated.
+            report.append(
+                f"{name}: speedup {base:.3f} -> {new:.3f} "
+                "(baseline < 1.0: no-worse contract, reported not gated)"
+            )
+            continue
+        floor = base * (1.0 - tolerance)
+        delta = (new - base) / base * 100.0
+        line = (
+            f"{name}: speedup {base:.3f} -> {new:.3f} "
+            f"({delta:+.1f}%, floor {floor:.3f})"
+        )
+        if new < floor:
+            regressions.append(line + "  REGRESSION")
+        else:
+            report.append(line + "  ok")
+    for name in sorted(set(fresh) - set(baseline)):
+        report.append(f"{name}: new scenario (no baseline), not gated")
+    return report, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh benchmark speedup regresses past "
+        "the tolerance below its committed baseline."
+    )
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH JSON (the reference ratios)")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly measured BENCH JSON from this run")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop below baseline "
+                             "(default 0.25 = -25%%)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        with open(args.fresh, encoding="utf-8") as fh:
+            fresh = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench-gate FAILED: {exc}", file=sys.stderr)
+        return 1
+    report, regressions = compare(baseline, fresh, args.tolerance)
+    for line in report:
+        print(line)
+    if regressions:
+        for line in regressions:
+            print(line, file=sys.stderr)
+        print(
+            f"bench-gate FAILED: {len(regressions)} scenario(s) regressed "
+            f"more than {args.tolerance:.0%} below baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench-gate OK: {len(report)} scenario(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

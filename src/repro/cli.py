@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.experiments import (
     format_kv,
@@ -56,6 +57,61 @@ def _shard(text: str) -> tuple[int, int]:
             f"shard index must satisfy 0 <= I < M, got {text!r}"
         )
     return index, count
+
+
+def _orchestrator_progress():
+    """Build a stderr progress printer for orchestrated sweeps.
+
+    Shard lifecycle transitions (launch / retry / failure / completion)
+    always print; per-shard row-count progress is throttled to one line
+    per shard per second so long runs stream useful status without
+    flooding terminals or CI logs.
+    """
+    last_line: dict[int, tuple[float, int]] = {}
+
+    def emit(event: dict) -> None:
+        kind = event["event"]
+        if kind == "launch":
+            print(
+                f"[shard {event['shard']}] attempt {event['attempt']} "
+                f"started ({event['total']} cells)",
+                file=sys.stderr,
+            )
+        elif kind == "retry":
+            print(
+                f"[shard {event['shard']}] {event['reason']}; retry "
+                f"{event['retries_used']}/{event['max_retries']} "
+                "(resuming from its shard file)",
+                file=sys.stderr,
+            )
+        elif kind == "failed":
+            print(
+                f"[shard {event['shard']}] FAILED, retry budget exhausted: "
+                f"{event['reason']}",
+                file=sys.stderr,
+            )
+        elif kind == "shard-done":
+            print(
+                f"[shard {event['shard']}] done: "
+                f"{event['done']}/{event['total']} cells "
+                f"in {event['attempts']} attempt(s)",
+                file=sys.stderr,
+            )
+        elif kind == "progress":
+            now = time.monotonic()
+            for s in event["shards"]:
+                if s["status"] != "running":
+                    continue
+                then, done = last_line.get(s["shard"], (0.0, -1))
+                if s["done"] != done and now - then >= 1.0:
+                    print(
+                        f"[shard {s['shard']}] {s['done']}/{s['total']} "
+                        f"cells ({s['rate']:.1f} rows/s)",
+                        file=sys.stderr,
+                    )
+                    last_line[s["shard"]] = (now, s["done"])
+
+    return emit
 
 
 def _emit(results, args) -> None:
@@ -176,6 +232,19 @@ def main(argv: list[str] | None = None) -> int:
                      help="run only shard I of M (cells with index %% M == I) "
                           "into a per-shard file derived from --out; "
                           "reassemble with sweep-merge")
+    psw.add_argument("--shards", type=int, default=None, metavar="M",
+                     help="orchestrate the whole grid locally: partition into "
+                          "M round-robin shards, run them in a supervised "
+                          "pool of --workers concurrent shard processes, "
+                          "retry killed/failed shards from their resumable "
+                          "files, then merge into --out (exit 3: a shard "
+                          "exhausted its retries; exit 4: merge verification "
+                          "failed — distinct from argparse's usage-error "
+                          "exit 2, so rerun-on-shard-failure wrappers can't "
+                          "loop on a typo)")
+    psw.add_argument("--max-retries", type=int, default=2,
+                     help="per-shard retry budget for --shards runs "
+                          "(default: 2)")
 
     psv = sub.add_parser(
         "sweep-verify",
@@ -352,6 +421,58 @@ def main(argv: list[str] | None = None) -> int:
             spec = mixed_grid(**kwargs)
         else:
             spec = smoke_grid(**kwargs)
+        if args.shards is not None:
+            if args.shard is not None:
+                psw.error("--shard and --shards are mutually exclusive "
+                          "(--shard runs one shard by hand, --shards "
+                          "orchestrates all of them)")
+            if args.shards < 1:
+                psw.error("--shards must be >= 1")
+            if args.workers < 1:
+                psw.error("--workers must be >= 1")
+            if args.max_retries < 0:
+                psw.error("--max-retries must be >= 0")
+            from repro.errors import (
+                MergeError,
+                OrchestratorError,
+                ShardFailedError,
+            )
+            from repro.sweep.orchestrator import orchestrate_sweep
+
+            try:
+                summary = orchestrate_sweep(
+                    spec,
+                    args.out,
+                    shards=args.shards,
+                    workers=args.workers,
+                    max_retries=args.max_retries,
+                    resume=not args.no_resume,
+                    progress=_orchestrator_progress(),
+                )
+            except ShardFailedError as exc:
+                for index, log in sorted(exc.failures.items()):
+                    for entry in log:
+                        print(f"shard {index}: {entry}", file=sys.stderr)
+                print(f"sweep --shards FAILED: {exc}", file=sys.stderr)
+                return 3
+            except MergeError as exc:
+                for p in exc.problems:
+                    print(p, file=sys.stderr)
+                print(f"sweep --shards merge FAILED: {exc}", file=sys.stderr)
+                return 4
+            except OrchestratorError as exc:
+                # Driver misuse (e.g. a malformed REPRO_ORCH_FAULT):
+                # reason on stderr, never an unhandled traceback.
+                print(f"sweep --shards FAILED: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"sweep {summary['spec']}: {summary['rows']} rows merged "
+                f"from {summary['shards']} shard(s), "
+                f"{summary['retries_used']} retr"
+                f"{'y' if summary['retries_used'] == 1 else 'ies'} used "
+                f"-> {summary['path']}"
+            )
+            return 0
         out = args.out
         if args.shard is not None:
             out = shard_path(args.out, *args.shard)
@@ -368,14 +489,19 @@ def main(argv: list[str] | None = None) -> int:
             f"-> {summary['path']}"
         )
     elif args.cmd == "sweep-verify":
+        from repro.errors import ReproError
         from repro.sweep.persist import diff_rows
 
-        rows, problems = diff_rows(
-            args.a,
-            args.b,
-            ignore=tuple(x.strip() for x in args.ignore.split(",") if x.strip()),
-            expect_cells=args.expect_cells,
-        )
+        try:
+            rows, problems = diff_rows(
+                args.a,
+                args.b,
+                ignore=tuple(x.strip() for x in args.ignore.split(",") if x.strip()),
+                expect_cells=args.expect_cells,
+            )
+        except (ReproError, OSError) as exc:
+            print(f"sweep-verify FAILED: {exc}", file=sys.stderr)
+            return 1
         if problems:
             for p in problems:
                 print(p, file=sys.stderr)
@@ -387,6 +513,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"sweep-verify OK: {rows} rows identical across {args.a} and {args.b}")
     elif args.cmd == "sweep-merge":
+        from repro.errors import ReproError
         from repro.sweep.persist import merge_shards
 
         if args.expect_cells is None:
@@ -396,9 +523,15 @@ def main(argv: list[str] | None = None) -> int:
                 "cell count to certify completeness",
                 file=sys.stderr,
             )
-        rows, problems = merge_shards(
-            args.shards, args.out, expect_cells=args.expect_cells
-        )
+        try:
+            rows, problems = merge_shards(
+                args.shards, args.out, expect_cells=args.expect_cells
+            )
+        except (ReproError, OSError) as exc:
+            # Unreadable shards / unwritable output must fail with the
+            # offending path and reason, never an unhandled traceback.
+            print(f"sweep-merge FAILED: {exc}", file=sys.stderr)
+            return 1
         if problems:
             for p in problems:
                 print(p, file=sys.stderr)

@@ -16,6 +16,9 @@ __all__ = [
     "ProtocolError",
     "ScheduleError",
     "SweepError",
+    "MergeError",
+    "OrchestratorError",
+    "ShardFailedError",
     "AnalysisError",
 ]
 
@@ -57,6 +60,42 @@ class SweepError(ScheduleError):
     subclasses it to keep those callers working while giving sweep
     problems their own catchable, accurately named type.
     """
+
+
+class MergeError(SweepError):
+    """Raised when merging or verifying sweep result files finds problems.
+
+    Carries the individual verification failures (one human-readable
+    string per problem, each naming the offending file and reason) in
+    ``problems`` so callers — the CLI, the orchestrator — can report
+    every rejection rather than just the first.
+    """
+
+    def __init__(self, message: str, problems: tuple[str, ...] | list[str] = ()):
+        super().__init__(message)
+        self.problems: list[str] = list(problems)
+
+
+class OrchestratorError(SweepError):
+    """Raised by the multi-shard sweep orchestrator.
+
+    Covers driver misuse (bad shard/worker/retry arguments) and
+    supervision failures; the retry-budget case gets the more specific
+    :class:`ShardFailedError`.
+    """
+
+
+class ShardFailedError(OrchestratorError):
+    """A supervised shard exhausted its retry budget.
+
+    ``failures`` maps each failed shard's index to its per-attempt
+    failure log (exit codes / signals, in attempt order), mirroring the
+    on-disk ``<shard>.failures.log`` sidecar the orchestrator writes.
+    """
+
+    def __init__(self, message: str, failures: dict[int, list[str]] | None = None):
+        super().__init__(message)
+        self.failures: dict[int, list[str]] = dict(failures or {})
 
 
 class AnalysisError(ReproError):

@@ -18,8 +18,12 @@ adaptive-pointer baseline registered out of the box
 per-request latency percentile and histogram columns
 (:mod:`repro.sweep.stats`); directory rows persist the mutual-exclusion
 invariant as ``exclusion_ok``.  Sharded runs are reassembled — with
-completeness and row-shape verification — by
-:func:`~repro.sweep.persist.merge_shards`.
+completeness and row-shape verification, streaming one row at a time —
+by :func:`~repro.sweep.persist.merge_shards`, and
+:func:`~repro.sweep.orchestrator.orchestrate_sweep` drives a whole
+sharded grid in one call: a supervised local worker pool with per-shard
+progress, bounded retry of killed shards, and the automatic merge
+(``repro-arrow sweep --shards m --workers k``).
 """
 
 from repro.sweep.executor import (
@@ -29,6 +33,7 @@ from repro.sweep.executor import (
     run_sweep,
     shard_path,
 )
+from repro.sweep.orchestrator import ShardState, orchestrate_sweep
 from repro.sweep.persist import (
     completed_ids,
     diff_rows,
@@ -92,6 +97,8 @@ __all__ = [
     "map_jobs",
     "run_sweep",
     "shard_path",
+    "ShardState",
+    "orchestrate_sweep",
     "completed_ids",
     "diff_rows",
     "dumps_row",

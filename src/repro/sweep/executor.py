@@ -195,6 +195,7 @@ def run_sweep(
     workers: int = 1,
     resume: bool = True,
     shard: tuple[int, int] | None = None,
+    on_row: Callable[[int], None] | None = None,
 ) -> dict[str, Any]:
     """Run a sweep to a JSONL file; returns a small summary dict.
 
@@ -208,6 +209,10 @@ def run_sweep(
     ``sweep-merge`` stitches back into the grid-order equivalent of an
     unsharded run.  A per-file lock enforces the one-writer-per-shard
     contract on POSIX systems.
+
+    ``on_row`` (if given) is called after each row is flushed, with the
+    count of rows written *by this run* — the orchestrator's in-process
+    hook for progress and fault injection.
     """
     _check_shard(shard)
     with _exclusive_writer(out_path):
@@ -223,6 +228,8 @@ def run_sweep(
                 fh.write(persist.dumps_row(row) + "\n")
                 fh.flush()
                 written += 1
+                if on_row is not None:
+                    on_row(written)
     total = spec.num_cells()
     if shard is not None:
         index, count = shard

@@ -1,0 +1,400 @@
+"""One-command multi-shard sweeps: supervised workers, retry, streaming merge.
+
+PR 4 made grids shardable, but running a sharded grid still meant
+hand-launching ``sweep --shard i/m`` once per shard and merging by hand.
+:func:`orchestrate_sweep` closes that gap locally: it partitions the
+grid round-robin into ``shards`` per-shard JSONL files, runs them in a
+supervised pool of at most ``workers`` concurrent shard processes,
+streams per-shard progress (cells done / total, rows per second),
+retries shards that exit non-zero or are killed — each retry resumes
+from the shard's own resumable JSONL, exactly like re-running
+``sweep --shard i/m`` by hand — and, once every shard completes, invokes
+the streaming :func:`repro.sweep.persist.merge_shards` so ``out_path``
+ends up byte-identical to an unsharded run of the same grid.
+
+Supervision model
+-----------------
+Each shard runs :func:`repro.sweep.executor.run_sweep` in its own child
+process (one writer per shard file, so the executor's ``flock`` guard
+and resume semantics apply unchanged).  The supervisor polls child
+liveness and shard-file growth; a child that exits non-zero or dies to a
+signal has the failure appended to the shard's in-memory failure log
+*and* to an on-disk ``<shard>.failures.log`` sidecar, then is relaunched
+while its retry budget (``max_retries`` per shard) lasts.  A shard that
+exhausts the budget raises :class:`repro.errors.ShardFailedError` once
+the surviving shards finish — partial work stays on disk and a rerun
+resumes it.
+
+Fault injection (testing only)
+------------------------------
+The CI smoke that proves supervision works needs a shard to die
+mid-run deterministically.  Setting ``REPRO_ORCH_FAULT="I:R"`` makes
+shard ``I``'s worker append a torn half-row and ``SIGKILL`` itself after
+writing ``R`` rows — but only when the shard file held fewer than ``R``
+rows at start, so the retry that resumes past the threshold survives.
+``REPRO_ORCH_FAULT="I:always"`` kills shard ``I`` at the start of every
+attempt (retry-budget exhaustion tests).  POSIX only; never set this
+outside tests.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import (
+    MergeError,
+    OrchestratorError,
+    ShardFailedError,
+    SweepError,
+)
+from repro.sweep import persist
+from repro.sweep.executor import _pool_context, run_sweep, shard_path
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["ShardState", "orchestrate_sweep", "FAULT_ENV"]
+
+#: Environment variable enabling the kill-a-shard-mid-run fault hook.
+FAULT_ENV = "REPRO_ORCH_FAULT"
+
+#: Progress-event callback: receives small dicts with an ``event`` key
+#: (``launch`` / ``progress`` / ``shard-done`` / ``retry`` / ``failed``).
+ProgressFn = Callable[[dict[str, Any]], None]
+
+
+@dataclass
+class ShardState:
+    """Supervision record for one shard of an orchestrated sweep."""
+
+    index: int
+    path: str
+    total: int
+    status: str = "pending"  # pending | running | done | failed
+    attempts: int = 0
+    done: int = 0
+    rate: float = 0.0
+    failures: list[str] = field(default_factory=list)
+    # Incremental row-count cursor (byte offset already scanned) and the
+    # row count / start time of the current attempt, for the rate.
+    _offset: int = 0
+    _attempt_base: int = 0
+    _attempt_start: float = 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Public view of this shard for progress events and summaries."""
+        return {
+            "shard": self.index,
+            "path": self.path,
+            "status": self.status,
+            "attempts": self.attempts,
+            "done": self.done,
+            "total": self.total,
+            "rate": round(self.rate, 3),
+            "failures": list(self.failures),
+        }
+
+
+def _count_rows(state: ShardState) -> None:
+    """Refresh ``state.done`` by scanning only bytes appended since last poll.
+
+    Complete rows end in a newline, so counting ``\\n`` bytes counts
+    rows; a torn trailing line is invisible until (if ever) completed.
+    Resume-time compaction atomically replaces the file, which can only
+    shrink it — a size below the cursor restarts the scan from zero.
+    """
+    try:
+        size = os.path.getsize(state.path)
+    except OSError:
+        state._offset = 0
+        state.done = 0
+        return
+    if size < state._offset:
+        state._offset = 0
+        state.done = 0
+    if size == state._offset:
+        return
+    with open(state.path, "rb") as fh:
+        fh.seek(state._offset)
+        while chunk := fh.read(1 << 16):
+            state.done += chunk.count(b"\n")
+            state._offset += len(chunk)
+
+
+def _parse_fault(shard_index: int) -> tuple[bool, int | None]:
+    """Decode ``REPRO_ORCH_FAULT`` for this shard: (kill_now, kill_after).
+
+    The whole value is validated before the shard match, so the
+    supervisor can fail fast on a malformed variable (by parsing for a
+    shard index that can never match) instead of burning the retry
+    budget on children that die to the same parse error.
+    """
+    raw = os.environ.get(FAULT_ENV)
+    if not raw:
+        return False, None
+    try:
+        target_text, trigger = raw.split(":")
+        target = int(target_text)
+        kill_after = None if trigger == "always" else int(trigger)
+    except ValueError:
+        raise OrchestratorError(
+            f"{FAULT_ENV} must be 'I:R' or 'I:always', got {raw!r}"
+        ) from None
+    if target != shard_index:
+        return False, None
+    return kill_after is None, kill_after
+
+
+def _sigkill_self() -> None:  # pragma: no cover - dies by design
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _shard_worker(
+    spec: SweepSpec, path: str, index: int, count: int
+) -> None:
+    """Child-process entry point: run one shard, honouring the fault hook."""
+    kill_now, kill_after = _parse_fault(index)
+    if kill_now:
+        _sigkill_self()
+    on_row = None
+    if kill_after is not None:
+        rows_at_start = len(persist.completed_ids(path))
+        if rows_at_start < kill_after:
+            threshold = kill_after - rows_at_start
+
+            def on_row(written: int) -> None:
+                if written >= threshold:  # pragma: no cover - child dies
+                    with open(path, "a", encoding="utf-8") as fh:
+                        fh.write('{"torn":')  # a killed run's half-row
+                    _sigkill_self()
+
+    try:
+        run_sweep(
+            spec, path, workers=1, resume=True, shard=(index, count),
+            on_row=on_row,
+        )
+    except SweepError as exc:
+        print(f"shard {index}/{count}: {exc}", file=sys.stderr)
+        raise SystemExit(1) from None
+
+
+def _launch(
+    ctx, spec: SweepSpec, state: ShardState, shards: int
+):
+    """Start (or restart) one shard's worker process."""
+    state.attempts += 1
+    state.status = "running"
+    _count_rows(state)
+    state._attempt_base = state.done
+    state._attempt_start = time.monotonic()
+    proc = ctx.Process(
+        target=_shard_worker,
+        args=(spec, state.path, state.index, shards),
+    )
+    proc.start()
+    return proc
+
+
+def _log_failure(state: ShardState, entry: str) -> None:
+    """Record one failed attempt in memory and in the on-disk sidecar."""
+    state.failures.append(entry)
+    try:
+        with open(state.path + ".failures.log", "a", encoding="utf-8") as fh:
+            fh.write(entry + "\n")
+    except OSError:  # pragma: no cover - the log is best-effort
+        pass
+
+
+def orchestrate_sweep(
+    spec: SweepSpec,
+    out_path: str,
+    *,
+    shards: int,
+    workers: int = 1,
+    max_retries: int = 2,
+    resume: bool = True,
+    merge: bool = True,
+    poll_interval: float = 0.2,
+    progress: ProgressFn | None = None,
+) -> dict[str, Any]:
+    """Run ``spec`` as ``shards`` supervised local shard runs, then merge.
+
+    At most ``workers`` shard processes run concurrently; each failed or
+    killed shard is relaunched up to ``max_retries`` times, resuming
+    from its per-shard JSONL.  ``progress`` (optional) receives event
+    dicts — per-shard ``launch`` / ``shard-done`` / ``retry`` /
+    ``failed`` transitions plus periodic ``progress`` snapshots carrying
+    cells done / total and rows-per-second, per shard and overall.
+
+    Returns a summary dict (spec name, per-shard snapshots, retry count,
+    merged row count).  Raises :class:`ShardFailedError` when any shard
+    exhausts its retry budget (after the other shards finish, so their
+    completed work is on disk for a rerun to resume), and
+    :class:`MergeError` when the final merge's verification rejects the
+    shard files.  With ``resume=False`` existing shard files are deleted
+    up front; retries within the run still resume — that is the point of
+    supervised retry.
+    """
+    if shards < 1:
+        raise OrchestratorError(f"shards must be >= 1, got {shards}")
+    if workers < 1:
+        raise OrchestratorError(f"workers must be >= 1, got {workers}")
+    if max_retries < 0:
+        raise OrchestratorError(f"max_retries must be >= 0, got {max_retries}")
+    _parse_fault(-1)  # fail fast on a malformed fault hook (never matches)
+    emit: ProgressFn = progress if progress is not None else lambda event: None
+    total_cells = spec.num_cells()
+    states = [
+        ShardState(
+            index=i,
+            path=shard_path(out_path, i, shards),
+            total=len(range(i, total_cells, shards)),
+        )
+        for i in range(shards)
+    ]
+    if not resume:
+        for state in states:
+            # A fresh start discards prior shard data AND its failure
+            # sidecar — the log must mirror this run's attempts only.
+            for stale in (state.path, state.path + ".failures.log"):
+                if os.path.exists(stale):
+                    os.remove(stale)
+
+    ctx = _pool_context()
+    start = time.monotonic()
+    pending = deque(states)
+    running: dict[int, Any] = {}
+    retries_used = 0
+    failed: list[ShardState] = []
+
+    def poll_progress() -> None:
+        now = time.monotonic()
+        for state in states:
+            if state.status == "running":
+                _count_rows(state)
+                elapsed = max(now - state._attempt_start, 1e-9)
+                state.rate = (state.done - state._attempt_base) / elapsed
+        done_cells = sum(s.done for s in states)
+        emit(
+            {
+                "event": "progress",
+                "done": done_cells,
+                "total": total_cells,
+                "rate": round(done_cells / max(now - start, 1e-9), 3),
+                "shards": [s.snapshot() for s in states],
+            }
+        )
+
+    while pending or running:
+        while pending and len(running) < workers:
+            state = pending.popleft()
+            running[state.index] = _launch(ctx, spec, state, shards)
+            emit(
+                {
+                    "event": "launch",
+                    "shard": state.index,
+                    "attempt": state.attempts,
+                    "total": state.total,
+                }
+            )
+        time.sleep(poll_interval)
+        for index in list(running):
+            proc = running[index]
+            if proc.is_alive():
+                continue
+            proc.join()
+            code = proc.exitcode
+            proc.close()
+            del running[index]
+            state = states[index]
+            # Full recount from byte 0: the incremental cursor can
+            # undercount when a retry's resume-compaction shrank the
+            # file and appends regrew it past the old offset between
+            # polls — exit-time counts must be exact.
+            state._offset = 0
+            state.done = 0
+            _count_rows(state)
+            if code == 0:
+                state.status = "done"
+                state.rate = 0.0
+                emit(
+                    {
+                        "event": "shard-done",
+                        "shard": index,
+                        "done": state.done,
+                        "total": state.total,
+                        "attempts": state.attempts,
+                    }
+                )
+                continue
+            reason = (
+                f"killed by signal {-code}" if code and code < 0
+                else f"exit code {code}"
+            )
+            entry = f"attempt {state.attempts}: {reason}"
+            _log_failure(state, entry)
+            if state.attempts <= max_retries:
+                retries_used += 1
+                state.status = "pending"
+                pending.append(state)
+                emit(
+                    {
+                        "event": "retry",
+                        "shard": index,
+                        "reason": reason,
+                        "retries_used": state.attempts,
+                        "max_retries": max_retries,
+                    }
+                )
+            else:
+                state.status = "failed"
+                failed.append(state)
+                emit(
+                    {
+                        "event": "failed",
+                        "shard": index,
+                        "reason": reason,
+                        "failures": list(state.failures),
+                    }
+                )
+        poll_progress()
+
+    if failed:
+        detail = "; ".join(
+            f"shard {s.index} ({s.path}): {s.failures[-1]}" for s in failed
+        )
+        raise ShardFailedError(
+            f"{len(failed)} shard(s) exhausted their retry budget "
+            f"({max_retries} retries): {detail}",
+            failures={s.index: list(s.failures) for s in failed},
+        )
+
+    merged_rows = None
+    if merge:
+        rows, problems = persist.merge_shards(
+            [s.path for s in states], out_path, expect_cells=total_cells
+        )
+        if problems:
+            raise MergeError(
+                f"merge of {shards} shard(s) into {out_path} failed "
+                f"verification with {len(problems)} problem(s)",
+                problems=problems,
+            )
+        merged_rows = rows
+    return {
+        "spec": spec.name,
+        "path": out_path,
+        "shards": shards,
+        "workers": workers,
+        "cells": total_cells,
+        "rows": merged_rows,
+        "retries_used": retries_used,
+        "merged": merge,
+        "elapsed": round(time.monotonic() - start, 3),
+        "shard_states": [s.snapshot() for s in states],
+    }

@@ -9,9 +9,9 @@ trailing line — the signature of a killed run — is dropped on load.
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
-from collections import Counter
 from typing import Any, Iterable, Iterator
 
 from repro.errors import ReproError
@@ -84,6 +84,27 @@ def _row_shape_problems(row: dict[str, Any], label: str) -> list[str]:
     return problems
 
 
+def _strict_parse_line(
+    stripped: str, path: str, lineno: int, problems: list[str]
+) -> dict[str, Any] | None:
+    """Verification-grade parse of one non-blank JSONL line.
+
+    Returns the row dict, or ``None`` after recording *why* the line is
+    not a sweep row.  Shared by the buffering (:func:`_strict_rows`) and
+    streaming (:class:`_ShardReader`) verification readers so the
+    line-level rejection rules — and their messages — cannot diverge.
+    """
+    try:
+        row = json.loads(stripped)
+    except json.JSONDecodeError:
+        problems.append(f"{path}:{lineno}: corrupt JSONL row")
+        return None
+    if not isinstance(row, dict):
+        problems.append(f"{path}:{lineno}: not a JSON object; not a sweep row")
+        return None
+    return row
+
+
 def _strict_rows(path: str, problems: list[str]) -> list[dict[str, Any]]:
     """Load every row of ``path``, reporting ANY corrupt line as a problem.
 
@@ -97,10 +118,9 @@ def _strict_rows(path: str, problems: list[str]) -> list[dict[str, Any]]:
             stripped = line.strip()
             if not stripped:
                 continue
-            try:
-                rows.append(json.loads(stripped))
-            except json.JSONDecodeError:
-                problems.append(f"{path}:{lineno}: corrupt JSONL row")
+            row = _strict_parse_line(stripped, path, lineno, problems)
+            if row is not None:
+                rows.append(row)
     return rows
 
 
@@ -189,6 +209,102 @@ def compact(path: str) -> set[str]:
     return {row["cell_id"] for row in rows if "cell_id" in row}
 
 
+#: Per-shard-file cap on recorded problem strings: keeps a wholly
+#: damaged shard of a million-cell grid from buffering millions of
+#: messages — the constant-memory contract must hold on the reject path
+#: too.  The suppression notice still says how much was elided.
+_PROBLEMS_PER_FILE_CAP = 50
+
+
+class _ShardReader:
+    """Sequential one-row cursor over a shard JSONL file.
+
+    The streaming merge holds exactly one of these per shard: one open
+    file handle, one parsed row at a time, plus O(shard-count) residue
+    bookkeeping — never a shard's full row list.  Damaged lines (corrupt
+    JSON, non-objects, rows without an integer ``index``) are recorded
+    as problems (capped per file, with a count of what was elided) and
+    skipped so the cursor keeps advancing and the file's damage gets
+    characterised without buffering it.
+    """
+
+    def __init__(self, path: str, shard_count: int, problems: list[str]):
+        self.path = path
+        self._shard_count = shard_count
+        self._problems = problems
+        self._recorded = 0
+        self._suppressed = 0
+        self._fh = open(path, "r", encoding="utf-8")
+        self._lineno = 0
+        self._rowno = 0
+        self.last_index: int | None = None
+        self.residues: set[int] = set()
+
+    def _problem(self, message: str) -> None:
+        if self._recorded < _PROBLEMS_PER_FILE_CAP:
+            self._problems.append(message)
+            self._recorded += 1
+        else:
+            self._suppressed += 1
+
+    def next_row(self) -> dict[str, Any] | None:
+        """Advance to the next merge-eligible row (``None`` = exhausted)."""
+        while True:
+            line = self._fh.readline()
+            if not line:
+                return None
+            self._lineno += 1
+            stripped = line.strip()
+            if not stripped:
+                continue
+            scratch: list[str] = []
+            row = _strict_parse_line(stripped, self.path, self._lineno, scratch)
+            if row is None:
+                for message in scratch:
+                    self._problem(message)
+                continue
+            label = f"{self.path} row {self._rowno}"
+            self._rowno += 1
+            for message in _row_shape_problems(row, label):
+                self._problem(message)
+            index = row.get("index")
+            if not isinstance(index, int):
+                self._problem(
+                    f"{label}: no integer 'index' column; "
+                    "not a sweep shard row"
+                )
+                continue
+            self.residues.add(index % self._shard_count)
+            if self.last_index is not None and index <= self.last_index:
+                self._problem(
+                    f"{label}: index {index} out of order after "
+                    f"{self.last_index}; shard files are append-only in "
+                    "grid order (re-run the shard)"
+                )
+            self.last_index = index
+            return row
+
+    def close(self) -> None:
+        if self._suppressed:
+            self._problems.append(
+                f"{self.path}: {self._suppressed} further problem(s) "
+                f"suppressed (first {_PROBLEMS_PER_FILE_CAP} shown)"
+            )
+            self._suppressed = 0
+        self._fh.close()
+
+
+def _format_capped(values: list[int], dropped: int) -> str:
+    """Render a capped problem-index list, noting how many were elided."""
+    return f"{values}" + (f" (+{dropped} more)" if dropped else "")
+
+
+#: How many offending cell indices a merge problem names before eliding —
+#: keeps error messages (and the memory behind them) bounded even when a
+#: whole shard of a million-cell grid is missing or duplicated.
+_PROBLEM_INDEX_CAP = 10
+
+
 def merge_shards(
     shard_paths: Iterable[str],
     out_path: str,
@@ -205,6 +321,14 @@ def merge_shards(
     (:func:`_row_shape_problems`), and corrupt lines — including the torn
     tail a killed shard leaves — are problems.
 
+    The merge **streams**: shard files are k-way merged through one read
+    cursor each (rows verified and written one at a time), so peak
+    memory is independent of grid size — a million-cell merge holds one
+    row per shard, never a shard's full row list.  Because ``run_sweep``
+    appends rows in grid order, each shard file must be internally
+    ordered by index; a file that is not (only possible by hand-editing
+    holes into it) is rejected.
+
     One gap is undetectable from row content alone: a shard that lost
     only *trailing* cells, when no surviving row carries a higher index,
     looks like a complete merge of a smaller grid.  Pass ``expect_cells``
@@ -212,82 +336,118 @@ def merge_shards(
     it — without that the merge certifies internal consistency, not grid
     completeness.
 
-    Only a clean merge is written (atomically) to ``out_path``; because
-    rows are serialised canonically and reordered by index, the merged
-    file is byte-identical to an unsharded run of the same grid.
+    Only a clean merge is kept (written atomically) at ``out_path``;
+    rows stream into a ``.tmp`` sidecar that is discarded when any
+    problem surfaces.  Because rows are serialised canonically and
+    emitted in index order, the merged file is byte-identical to an
+    unsharded run of the same grid.
     """
     shard_paths = list(shard_paths)
+    shard_count = len(shard_paths)
     problems: list[str] = []
-    rows: list[dict[str, Any]] = []
-    residues: list[tuple[str, set[int]]] = []
-    for path in shard_paths:
-        if not os.path.exists(path):
-            problems.append(f"{path}: missing shard file")
-            continue
-        shard_rows = _strict_rows(path, problems)
-        for k, row in enumerate(shard_rows):
-            if not isinstance(row.get("index"), int):
-                problems.append(
-                    f"{path} row {k}: no integer 'index' column; "
-                    "not a sweep shard row"
-                )
-            problems.extend(_row_shape_problems(row, f"{path} row {k}"))
-        rows.extend(shard_rows)
-        residues.append(
-            (
-                path,
-                {
-                    row["index"] % len(shard_paths)
-                    for row in shard_rows
-                    if isinstance(row.get("index"), int)
-                },
-            )
-        )
+    readers: list[_ShardReader | None] = []
+    total_rows = 0
+    expected = 0
+    dup_shown: list[int] = []
+    dup_dropped = 0
+    missing_shown: list[int] = []
+    missing_dropped = 0
+    tmp = out_path + ".tmp"
+    try:
+        for path in shard_paths:
+            if not os.path.exists(path):
+                problems.append(f"{path}: missing shard file")
+                readers.append(None)
+                continue
+            readers.append(_ShardReader(path, shard_count, problems))
+        # Prime the k-way merge with each shard's head row; ties on
+        # equal indices (duplicates) break by reader position so the
+        # heap never compares row dicts.
+        heap: list[tuple[int, int, dict[str, Any]]] = []
+        for pos, reader in enumerate(readers):
+            if reader is None:
+                continue
+            row = reader.next_row()
+            if row is not None:
+                heapq.heappush(heap, (row["index"], pos, row))
+        with open(tmp, "w", encoding="utf-8") as out:
+            while heap:
+                index, pos, row = heapq.heappop(heap)
+                if index == expected:
+                    expected = index + 1
+                elif index < expected:
+                    if dup_shown and dup_shown[-1] == index:
+                        pass  # already recorded this duplicated index
+                    elif len(dup_shown) < _PROBLEM_INDEX_CAP:
+                        dup_shown.append(index)
+                    else:
+                        dup_dropped += 1
+                else:
+                    gap = range(expected, index)
+                    take = max(0, _PROBLEM_INDEX_CAP - len(missing_shown))
+                    missing_shown.extend(gap[:take])
+                    missing_dropped += len(gap) - min(take, len(gap))
+                    expected = index + 1
+                out.write(dumps_row(row) + "\n")
+                total_rows += 1
+                reader = readers[pos]
+                assert reader is not None
+                nxt = reader.next_row()
+                if nxt is not None:
+                    heapq.heappush(heap, (nxt["index"], pos, nxt))
+    except BaseException:
+        # A reader or the output failed mid-stream (ENOSPC, I/O error):
+        # don't leave a partial .tmp sidecar behind the exception.
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        raise
+    finally:
+        for reader in readers:
+            if reader is not None:
+                reader.close()
+
     # Round-robin partition: every file's indices share one residue
     # modulo the shard count, and non-empty files cover distinct
     # residues.  Catches files from a different sharding mixed in even
     # when the union happens to be contiguous.
     seen_residues: dict[int, str] = {}
-    for path, found in residues:
-        if len(found) > 1:
+    for reader in readers:
+        if reader is None:
+            continue
+        if len(reader.residues) > 1:
             problems.append(
-                f"{path}: cell indices span residues {sorted(found)} modulo "
-                f"{len(shard_paths)} shards; not one shard of this grid"
+                f"{reader.path}: cell indices span residues "
+                f"{sorted(reader.residues)} modulo {shard_count} shards; "
+                "not one shard of this grid"
             )
-        for residue in found:
+        for residue in sorted(reader.residues):
             if residue in seen_residues:
                 problems.append(
-                    f"{path}: same shard residue {residue} as "
+                    f"{reader.path}: same shard residue {residue} as "
                     f"{seen_residues[residue]} (shard passed twice?)"
                 )
-            seen_residues[residue] = path
-    rows = [r for r in rows if isinstance(r.get("index"), int)]
-    rows.sort(key=lambda r: r["index"])
-    indices = [r["index"] for r in rows]
-    if expect_cells is not None and len(rows) != expect_cells:
+            else:
+                seen_residues[residue] = reader.path
+    if expect_cells is not None and total_rows != expect_cells:
         problems.append(
             f"merge: expected {expect_cells} rows across shards, "
-            f"found {len(rows)}"
+            f"found {total_rows}"
         )
-    if indices != list(range(len(rows))):
-        counts = Counter(indices)
-        dupes = sorted(i for i, c in counts.items() if c > 1)
-        missing = sorted(set(range(len(indices))) - set(indices))
-        if dupes:
-            problems.append(
-                f"merge: duplicate cell indices across shards: {dupes} "
-                "(same shard run twice into different files?)"
-            )
-        if missing:
-            problems.append(
-                f"merge: missing cell indices {missing} "
-                "(a shard is absent or incomplete)"
-            )
+    if dup_shown or dup_dropped:
+        problems.append(
+            "merge: duplicate cell indices across shards: "
+            f"{_format_capped(dup_shown, dup_dropped)} "
+            "(same shard run twice into different files?)"
+        )
+    if missing_shown or missing_dropped:
+        problems.append(
+            "merge: missing cell indices "
+            f"{_format_capped(missing_shown, missing_dropped)} "
+            "(a shard is absent or incomplete)"
+        )
     if problems:
-        return len(rows), problems
-    tmp = out_path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        for row in rows:
-            fh.write(dumps_row(row) + "\n")
+        if os.path.exists(tmp):
+            os.remove(tmp)
+        return total_rows, problems
     os.replace(tmp, out_path)
-    return len(rows), problems
+    return total_rows, problems

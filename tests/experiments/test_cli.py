@@ -168,6 +168,54 @@ def test_sweep_verify_flags_corrupt_histogram(tmp_path, capsys):
     assert "latency_hist" in capsys.readouterr().err
 
 
+def test_sweep_orchestrated_command_matches_one_shot(tmp_path, capsys):
+    one_shot = tmp_path / "one_shot.jsonl"
+    merged = tmp_path / "merged.jsonl"
+    assert main(["sweep", "--grid", "smoke", "--out", str(one_shot)]) == 0
+    assert main(["sweep", "--grid", "smoke", "--shards", "2", "--workers", "2",
+                 "--out", str(merged)]) == 0
+    captured = capsys.readouterr()
+    assert "4 rows merged from 2 shard(s)" in captured.out
+    assert "[shard 0]" in captured.err  # per-shard progress streamed
+    assert merged.read_bytes() == one_shot.read_bytes()
+
+
+def test_sweep_rejects_shard_with_shards(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--grid", "smoke", "--shard", "0/2", "--shards", "2",
+              "--out", str(tmp_path / "x.jsonl")])
+
+
+def test_sweep_orchestrated_rejects_bad_pool_arguments(tmp_path):
+    # Usage errors exit via argparse, never an orchestrator traceback.
+    with pytest.raises(SystemExit):
+        main(["sweep", "--grid", "smoke", "--shards", "2", "--workers", "0",
+              "--out", str(tmp_path / "x.jsonl")])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--grid", "smoke", "--shards", "2",
+              "--max-retries", "-1", "--out", str(tmp_path / "x.jsonl")])
+
+
+def test_sweep_merge_unwritable_output_exits_cleanly(tmp_path, capsys):
+    shard = tmp_path / "s.jsonl"
+    assert main(["sweep", "--grid", "smoke", "--shard", "0/1",
+                 "--out", str(shard)]) == 0
+    capsys.readouterr()
+    # Output directory does not exist: the reason and path must land on
+    # stderr with a non-zero exit, not as an unhandled traceback.
+    assert main(["sweep-merge", "--out", str(tmp_path / "nodir" / "m.jsonl"),
+                 str(shard) + ".shard0-1.jsonl"]) == 1
+    err = capsys.readouterr().err
+    assert "sweep-merge FAILED" in err and "nodir" in err
+
+
+def test_sweep_verify_missing_file_exits_cleanly(tmp_path, capsys):
+    missing = str(tmp_path / "nope.jsonl")
+    assert main(["sweep-verify", "--a", missing, "--b", missing]) == 1
+    err = capsys.readouterr().err
+    assert "sweep-verify FAILED" in err and "nope.jsonl" in err
+
+
 def test_sweep_verify_flags_torn_trailing_line(tmp_path, capsys):
     """A killed run's torn tail must FAIL verification (resume tolerates
     it, but a verification primitive exists to catch exactly that)."""

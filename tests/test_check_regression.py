@@ -1,0 +1,97 @@
+"""The CI bench regression gate (``benchmarks/check_regression.py``).
+
+Run as a subprocess against crafted BENCH JSON files, exactly as the CI
+job invokes it.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "check_regression.py",
+)
+
+
+def run_gate(tmp_path, baseline, fresh, tolerance="0.25"):
+    base_path = tmp_path / "baseline.json"
+    fresh_path = tmp_path / "fresh.json"
+    base_path.write_text(json.dumps(baseline))
+    fresh_path.write_text(json.dumps(fresh))
+    return subprocess.run(
+        [sys.executable, SCRIPT, "--baseline", str(base_path),
+         "--fresh", str(fresh_path), "--tolerance", tolerance],
+        capture_output=True, text=True,
+    )
+
+
+BASE = {
+    "open_loop_uniform": {"speedup": 1.6},
+    "closed_loop_uniform": {"speedup": 1.4},
+}
+
+
+def test_within_tolerance_passes(tmp_path):
+    fresh = {
+        "open_loop_uniform": {"speedup": 1.3},   # -19%, inside ±25%
+        "closed_loop_uniform": {"speedup": 1.5},  # improvement
+    }
+    proc = run_gate(tmp_path, BASE, fresh)
+    assert proc.returncode == 0, proc.stderr
+    assert "bench-gate OK" in proc.stdout
+
+
+def test_regression_beyond_tolerance_fails(tmp_path):
+    fresh = {
+        "open_loop_uniform": {"speedup": 1.1},   # -31% < floor 1.2
+        "closed_loop_uniform": {"speedup": 1.4},
+    }
+    proc = run_gate(tmp_path, BASE, fresh)
+    assert proc.returncode == 1
+    assert "open_loop_uniform" in proc.stderr and "REGRESSION" in proc.stderr
+    assert "bench-gate FAILED" in proc.stderr
+
+
+def test_missing_scenario_fails(tmp_path):
+    proc = run_gate(tmp_path, BASE, {"open_loop_uniform": {"speedup": 1.6}})
+    assert proc.returncode == 1
+    assert "missing from fresh results" in proc.stderr
+
+
+def test_below_parity_baseline_reported_not_gated(tmp_path):
+    # "No worse" scenarios (baseline speedup < 1.0, e.g. the
+    # deterministic storm) are the most machine-sensitive ratios; parity
+    # is asserted in-suite, so the gate only reports them.
+    base = {**BASE, "one_shot_storm": {"speedup": 0.93}}
+    fresh = {
+        "open_loop_uniform": {"speedup": 1.6},
+        "closed_loop_uniform": {"speedup": 1.4},
+        "one_shot_storm": {"speedup": 0.5},  # huge drop, still not gated
+    }
+    proc = run_gate(tmp_path, base, fresh)
+    assert proc.returncode == 0, proc.stderr
+    assert "no-worse contract" in proc.stdout
+
+
+def test_new_unbaselined_scenario_reported_not_gated(tmp_path):
+    fresh = {
+        **{k: dict(v) for k, v in BASE.items()},
+        "brand_new": {"speedup": 0.1},
+    }
+    proc = run_gate(tmp_path, BASE, fresh)
+    assert proc.returncode == 0
+    assert "new scenario" in proc.stdout
+
+
+def test_unreadable_input_fails_without_traceback(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, "--baseline", str(tmp_path / "nope.json"),
+         "--fresh", str(tmp_path / "nope.json")],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 1
+    assert "bench-gate FAILED" in proc.stderr
+    assert "Traceback" not in proc.stderr
