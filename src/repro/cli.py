@@ -222,6 +222,15 @@ def main(argv: list[str] | None = None) -> int:
                      help="directory acquisitions per processor "
                           "(directory grid only)")
     psw.add_argument("--seeds", type=_int_list, default=None)
+    psw.add_argument("--faults", action="append", default=None, metavar="PLAN",
+                     help="fault plan applied to every cell: comma-separated "
+                          "crash@T:NODE, link@U-V:T0-T1, loss:RATE terms "
+                          "(open-loop grids only; repeat the flag to sweep "
+                          "a fault axis of several plans)")
+    psw.add_argument("--monitors", action="store_true",
+                     help="attach runtime protocol monitors to every cell; "
+                          "rows are unchanged, an invariant violation "
+                          "aborts the sweep")
     psw.add_argument("--engine", choices=["fast", "message", "batch"],
                      default="fast")
     psw.add_argument("--workers", type=int, default=1)
@@ -421,6 +430,19 @@ def main(argv: list[str] | None = None) -> int:
             spec = mixed_grid(**kwargs)
         else:
             spec = smoke_grid(**kwargs)
+        if args.faults or args.monitors:
+            import dataclasses
+
+            from repro.errors import SweepError
+
+            try:
+                spec = dataclasses.replace(
+                    spec,
+                    **({"faults": tuple(args.faults)} if args.faults else {}),
+                    **({"monitors": True} if args.monitors else {}),
+                )
+            except SweepError as exc:
+                psw.error(str(exc))
         if args.shards is not None:
             if args.shard is not None:
                 psw.error("--shard and --shards are mutually exclusive "

@@ -405,9 +405,20 @@ class BatchArrowEngine:
 
     # ------------------------------------------------------------------
     def run(
-        self, schedule: RequestSchedule, *, max_events: int | None = None
+        self,
+        schedule: RequestSchedule,
+        *,
+        max_events: int | None = None,
+        on_event=None,
     ) -> RunResult:
-        """Execute one schedule; returns a ``run_arrow``-identical result."""
+        """Execute one schedule; returns a ``run_arrow``-identical result.
+
+        ``on_event``, when set, receives the protocol trace in the same
+        order the message engine emits it (see :mod:`repro.monitors`).
+        Speculative initiation slabs are disabled while a hook is
+        attached — slabs commit events out of emission order — which
+        changes nothing observable in the result, only the speed.
+        """
         schedule.validate_nodes(self._n)
         result = RunResult(schedule)
 
@@ -433,11 +444,13 @@ class BatchArrowEngine:
         t0 = _wall.perf_counter()
         if self.service_time == 0.0:
             now, fired, messages = self._drain(
-                schedule, link, last_rid, last_delivery, done, max_events, sampler
+                schedule, link, last_rid, last_delivery, done, max_events,
+                sampler, on_event,
             )
         else:
             now, fired, messages = self._drain_with_service(
-                schedule, link, last_rid, last_delivery, done, max_events, sampler
+                schedule, link, last_rid, last_delivery, done, max_events,
+                sampler, on_event,
             )
         wall = _wall.perf_counter() - t0
 
@@ -471,6 +484,7 @@ class BatchArrowEngine:
         done: list[tuple[int, int, int, float, int]],
         max_events: int | None,
         sampler: _LatencySampler | None,
+        emit=None,
     ) -> tuple[float, int, int]:
         """Hot loop for ``service_time == 0`` (the §3.1 analysis model).
 
@@ -492,8 +506,11 @@ class BatchArrowEngine:
         times_np = nodes_np = None
 
         # Slabs need delays computable ahead of commitment: deterministic
-        # tables, or a block stream that can rewind speculative draws.
-        slab_ok = det_up is not None or (sampler is not None and sampler.rewindable)
+        # tables, or a block stream that can rewind speculative draws —
+        # and an emission-free run (slabs commit out of event order).
+        slab_ok = (
+            det_up is not None or (sampler is not None and sampler.rewindable)
+        ) and emit is None
         link_delay = _fused_link_delay(sampler) if sampler is not None else None
 
         limit = float("inf") if max_events is None else max_events
@@ -546,9 +563,13 @@ class BatchArrowEngine:
                 fired += 1
                 if fired > limit:
                     _raise_livelock(max_events)
+                if emit is not None:
+                    emit("init", rid, v, now)
                 x = link[v]
                 if x == v:
                     # Local find: queued behind v's previous request.
+                    if emit is not None:
+                        emit("complete", rid, last_rid[v], v, now, 0)
                     append((rid, last_rid[v], v, now, 0))
                     last_rid[v] = rid
                     continue
@@ -562,9 +583,13 @@ class BatchArrowEngine:
                 if fired > limit:
                     _raise_livelock(max_events)
                 # Path reversal (ArrowNode.on_message).
+                if emit is not None:
+                    emit("deliver", rid, v, src, now)
                 x = link[v]
                 link[v] = src
                 if x == v:
+                    if emit is not None:
+                        emit("complete", rid, last_rid[v], v, now, hops)
                     append((rid, last_rid[v], v, now, hops))
                     continue
                 dst = x
@@ -573,6 +598,8 @@ class BatchArrowEngine:
                 break
 
             # One link traversal v -> dst (send_link / forward + FifoChannel).
+            if emit is not None:
+                emit("send", rid, v, dst, now)
             down = parent[dst] == v
             if det_up is None:
                 delay = link_delay(v, dst, weight[dst] if down else weight[v])
@@ -598,6 +625,7 @@ class BatchArrowEngine:
         done: list[tuple[int, int, int, float, int]],
         max_events: int | None,
         sampler: _LatencySampler | None,
+        emit=None,
     ) -> tuple[float, int, int]:
         """General loop with per-node sequential service (Fig. 10 model).
 
@@ -620,7 +648,9 @@ class BatchArrowEngine:
         # workloads that never form one skip the conversion cost.
         times_np = nodes_np = None
 
-        slab_ok = det_up is not None or (sampler is not None and sampler.rewindable)
+        slab_ok = (
+            det_up is not None or (sampler is not None and sampler.rewindable)
+        ) and emit is None
         link_delay = _fused_link_delay(sampler) if sampler is not None else None
 
         limit = float("inf") if max_events is None else max_events
@@ -663,8 +693,12 @@ class BatchArrowEngine:
                 fired += 1
                 if fired > limit:
                     _raise_livelock(max_events)
+                if emit is not None:
+                    emit("init", rid, v, now)
                 x = link[v]
                 if x == v:
+                    if emit is not None:
+                        emit("complete", rid, last_rid[v], v, now, 0)
                     append((rid, last_rid[v], v, now, 0))
                     last_rid[v] = rid
                     continue
@@ -688,9 +722,13 @@ class BatchArrowEngine:
                     heappush(heap, (finish, seq, _DISPATCH, v, src, rid, hops))
                     seq += 1
                     continue
+                if emit is not None:
+                    emit("deliver", rid, v, src, now)
                 x = link[v]
                 link[v] = src
                 if x == v:
+                    if emit is not None:
+                        emit("complete", rid, last_rid[v], v, now, hops)
                     append((rid, last_rid[v], v, now, hops))
                     continue
                 dst = x
@@ -698,6 +736,8 @@ class BatchArrowEngine:
             else:
                 break
 
+            if emit is not None:
+                emit("send", rid, v, dst, now)
             down = parent[dst] == v
             if det_up is None:
                 delay = link_delay(v, dst, weight[dst] if down else weight[v])
@@ -875,6 +915,7 @@ def run_arrow_batch(
     seed: int = 0,
     service_time: float = 0.0,
     max_events: int | None = None,
+    on_event=None,
 ) -> RunResult:
     """Drop-in vectorized replacement for the supported ``run_arrow`` subset.
 
@@ -886,7 +927,7 @@ def run_arrow_batch(
     engine = BatchArrowEngine(
         graph, tree, latency=latency, seed=seed, service_time=service_time
     )
-    return engine.run(schedule, max_events=max_events)
+    return engine.run(schedule, max_events=max_events, on_event=on_event)
 
 
 # ----------------------------------------------------------------------
@@ -902,6 +943,7 @@ def closed_loop_arrow_batch(
     service_time: float = 0.0,
     think_time: float = 0.0,
     max_events: int | None = None,
+    on_event=None,
 ) -> ClosedLoopResult:
     """Closed-loop arrow run, bit-identical to both §5 arrow drivers."""
     if service_time < 0:
@@ -936,6 +978,7 @@ def closed_loop_arrow_batch(
         det_down=det_down,
         sample_link=_fused_link_delay(sampler) if sampler is not None else None,
         router=router,
+        on_event=on_event,
     )
 
 

@@ -140,9 +140,18 @@ class FastArrowEngine:
 
     # ------------------------------------------------------------------
     def run(
-        self, schedule: RequestSchedule, *, max_events: int | None = None
+        self,
+        schedule: RequestSchedule,
+        *,
+        max_events: int | None = None,
+        on_event=None,
     ) -> RunResult:
-        """Execute one schedule; returns a ``run_arrow``-identical result."""
+        """Execute one schedule; returns a ``run_arrow``-identical result.
+
+        ``on_event``, when set, receives the protocol trace in the same
+        order the message engine emits it (see :mod:`repro.monitors`);
+        ``None`` (the default) keeps the hot loops emission-free.
+        """
         schedule.validate_nodes(self._n)
         result = RunResult(schedule)
 
@@ -176,12 +185,12 @@ class FastArrowEngine:
         if self.service_time == 0.0:
             now, fired, messages = self._drain(
                 init_times, init_nodes, link, last_rid, last_delivery,
-                done, max_events,
+                done, max_events, on_event,
             )
         else:
             now, fired, messages = self._drain_with_service(
                 init_times, init_nodes, link, last_rid, last_delivery,
-                done, max_events,
+                done, max_events, on_event,
             )
         wall = _wall.perf_counter() - t0
 
@@ -215,6 +224,7 @@ class FastArrowEngine:
         last_delivery: list[float],
         done: list[tuple[int, int, int, float, int]],
         max_events: int | None,
+        emit=None,
     ) -> tuple[float, int, int]:
         """Hot loop for ``service_time == 0`` (the §3.1 analysis model)."""
         parent = self._parent
@@ -246,9 +256,13 @@ class FastArrowEngine:
                 fired += 1
                 if fired > limit:
                     _raise_livelock(max_events)
+                if emit is not None:
+                    emit("init", rid, v, now)
                 x = link[v]
                 if x == v:
                     # Local find: queued behind v's previous request.
+                    if emit is not None:
+                        emit("complete", rid, last_rid[v], v, now, 0)
                     append((rid, last_rid[v], v, now, 0))
                     last_rid[v] = rid
                     continue
@@ -262,9 +276,13 @@ class FastArrowEngine:
                 if fired > limit:
                     _raise_livelock(max_events)
                 # Path reversal (ArrowNode.on_message).
+                if emit is not None:
+                    emit("deliver", rid, v, src, now)
                 x = link[v]
                 link[v] = src
                 if x == v:
+                    if emit is not None:
+                        emit("complete", rid, last_rid[v], v, now, hops)
                     append((rid, last_rid[v], v, now, hops))
                     continue
                 dst = x
@@ -273,6 +291,8 @@ class FastArrowEngine:
                 break
 
             # One link traversal v -> dst (send_link / forward + FifoChannel).
+            if emit is not None:
+                emit("send", rid, v, dst, now)
             down = parent[dst] == v
             if det_up is None:
                 delay = sample(v, dst, weight[dst if down else v], rng)
@@ -298,6 +318,7 @@ class FastArrowEngine:
         last_delivery: list[float],
         done: list[tuple[int, int, int, float, int]],
         max_events: int | None,
+        emit=None,
     ) -> tuple[float, int, int]:
         """General loop with per-node sequential service (Fig. 10 model)."""
         parent = self._parent
@@ -330,8 +351,12 @@ class FastArrowEngine:
                 fired += 1
                 if fired > limit:
                     _raise_livelock(max_events)
+                if emit is not None:
+                    emit("init", rid, v, now)
                 x = link[v]
                 if x == v:
+                    if emit is not None:
+                        emit("complete", rid, last_rid[v], v, now, 0)
                     append((rid, last_rid[v], v, now, 0))
                     last_rid[v] = rid
                     continue
@@ -355,9 +380,13 @@ class FastArrowEngine:
                     heappush(heap, (finish, seq, _DISPATCH, v, src, rid, hops))
                     seq += 1
                     continue
+                if emit is not None:
+                    emit("deliver", rid, v, src, now)
                 x = link[v]
                 link[v] = src
                 if x == v:
+                    if emit is not None:
+                        emit("complete", rid, last_rid[v], v, now, hops)
                     append((rid, last_rid[v], v, now, hops))
                     continue
                 dst = x
@@ -365,6 +394,8 @@ class FastArrowEngine:
             else:
                 break
 
+            if emit is not None:
+                emit("send", rid, v, dst, now)
             down = parent[dst] == v
             if det_up is None:
                 delay = sample(v, dst, weight[dst if down else v], rng)
@@ -390,6 +421,7 @@ def run_arrow_fast(
     seed: int = 0,
     service_time: float = 0.0,
     max_events: int | None = None,
+    on_event=None,
 ) -> RunResult:
     """Drop-in fast replacement for the supported ``run_arrow`` subset.
 
@@ -400,4 +432,4 @@ def run_arrow_fast(
     engine = FastArrowEngine(
         graph, tree, latency=latency, seed=seed, service_time=service_time
     )
-    return engine.run(schedule, max_events=max_events)
+    return engine.run(schedule, max_events=max_events, on_event=on_event)

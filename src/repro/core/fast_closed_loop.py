@@ -290,6 +290,7 @@ def _run_arrow_closed_loop(
     det_down: list[float] | None,
     sample_link,
     router,
+    on_event=None,
 ) -> ClosedLoopResult:
     """The arrow closed-loop event loop, delay sources injected.
 
@@ -298,6 +299,9 @@ def _run_arrow_closed_loop(
     for stochastic models they are ``None`` and ``sample_link(src, dst,
     weight)`` must return the next delay of the run's latency stream.
     ``router.delay_hops`` provides the routed acknowledgement delays.
+    ``on_event``, when set, receives the queuing-layer protocol trace
+    (see :mod:`repro.monitors`); acknowledgement traffic is application
+    level and not part of it.
     """
     n = len(parent)
 
@@ -330,9 +334,13 @@ def _run_arrow_closed_loop(
     fired = 0
     limit = float("inf") if max_events is None else max_events
 
+    emit = on_event
+
     def send_queue(v: int, dst: int, rid: int, hops: int, now: float) -> None:
         # One tree-link traversal (send_link / forward + FifoChannel).
         nonlocal seq, messages
+        if emit is not None:
+            emit("send", rid, v, dst, now)
         down = parent[dst] == v
         if det_up is None:
             delay = sample_link(v, dst, weight[dst if down else v])
@@ -370,9 +378,13 @@ def _run_arrow_closed_loop(
         next_rid += 1
         owners.append(p)
         issue_times.append(now)
+        if emit is not None:
+            emit("init", rid, p, now)
         x = link[p]
         if x == p:
             # Local find: queued behind p's previous request, zero messages.
+            if emit is not None:
+                emit("complete", rid, last_rid[p], p, now, 0)
             last_rid[p] = rid
             completions += 1
             local_finds += 1
@@ -402,12 +414,16 @@ def _run_arrow_closed_loop(
             seq += 1
         elif tag == _QARRIVE or tag == _QDISPATCH:
             # Path reversal (ArrowNode.on_message).
+            if emit is not None:
+                emit("deliver", rid, v, src, now)
             x = link[v]
             link[v] = src
             if x != v:
                 send_queue(v, x, rid, hops + 1, now)
             else:
                 # v is the sink: rid queued behind v's last request.
+                if emit is not None:
+                    emit("complete", rid, last_rid[v], v, now, hops)
                 completions += 1
                 hops_list.append(hops)
                 latencies.append(now - issue_times[rid])
@@ -588,6 +604,7 @@ def closed_loop_arrow_fast(
     service_time: float = 0.0,
     think_time: float = 0.0,
     max_events: int | None = None,
+    on_event=None,
 ) -> ClosedLoopResult:
     """Closed-loop arrow run, bit-identical to ``closed_loop_arrow``."""
     if service_time < 0:
@@ -617,6 +634,7 @@ def closed_loop_arrow_fast(
         det_down=det_down,
         sample_link=lambda v, dst, w: sample(v, dst, w, rng),
         router=_Router(graph, model, rng),
+        on_event=on_event,
     )
 
 

@@ -41,6 +41,7 @@ def run_arrow(
     notify_origin: bool = False,
     tracer: Tracer | None = None,
     max_events: int | None = None,
+    on_event=None,
 ) -> RunResult:
     """Run the arrow protocol on one schedule; return the results.
 
@@ -49,6 +50,8 @@ def run_arrow(
     behaviour; ``service_time`` adds per-node sequential message handling
     (0 = the §3.1 analysis model); ``notify_origin`` adds the
     application-level acknowledgement used by closed-loop workloads.
+    ``on_event``, when set, receives the protocol trace (see
+    :mod:`repro.monitors`) and leaves the results untouched.
     """
     schedule.validate_nodes(graph.num_nodes)
     require_spanning_subgraph(graph, [(u, v) for u, v, _ in tree.edges()])
@@ -73,6 +76,7 @@ def run_arrow(
     net.register_all(nodes)  # attach assigns node ids
     for nd in nodes:
         nd.init_pointers(tree)
+        nd.on_event = on_event
 
     for req in schedule:
         node = nodes[req.node]

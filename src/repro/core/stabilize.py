@@ -21,10 +21,17 @@ its child endpoint after its parent's pointer is final, a single pass
 restores legality on every edge — the property-based tests corrupt
 configurations arbitrarily and verify convergence.
 
-Scope note: as in [9], correction applies to quiescent configurations;
-in-flight message recovery requires the full protocol's message
-re-stamping, which is outside this reproduction's scope (documented in
-DESIGN.md).
+Scope note: correction applies to quiescent configurations, and since the
+fault axis landed this module is the **live repair step** of every engine:
+:mod:`repro.faults` runs :func:`find_violations` / :func:`stabilize` at
+the first quiescent point after a crash or message loss (and once more at
+the end of a run), restoring a unique sink before the next request is
+issued.  The runtime monitors (:mod:`repro.monitors`) replay the same
+pass on their mirror state to cross-check the engines' repairs.  The
+node-based API operates on :class:`~repro.core.arrow.ArrowNode` lists;
+the ``*_links`` variants operate on a plain ``link`` pointer array, which
+is what the flat-heap engines and the monitors hold — both delegate to
+the same edge arithmetic, so there is exactly one repair algorithm.
 """
 
 from __future__ import annotations
@@ -38,10 +45,12 @@ from repro.spanning.tree import SpanningTree
 __all__ = [
     "EdgeViolation",
     "find_violations",
+    "find_violations_links",
     "is_legal_configuration",
     "count_sinks",
     "sink_reached_from",
     "stabilize",
+    "stabilize_links",
 ]
 
 
@@ -58,23 +67,35 @@ class EdgeViolation:
     kind: str
 
 
+def _links_of(nodes: list[ArrowNode]) -> list[int]:
+    return [nd.link for nd in nodes]
+
+
 def _crossings(nodes: list[ArrowNode], u: int, p: int) -> int:
     return int(nodes[u].link == p) + int(nodes[p].link == u)
 
 
-def find_violations(nodes: list[ArrowNode], tree: SpanningTree) -> list[EdgeViolation]:
-    """All illegal edges in the current (quiescent) configuration."""
+def find_violations_links(
+    link: list[int], tree: SpanningTree
+) -> list[EdgeViolation]:
+    """All illegal edges of a quiescent pointer array (see module docs)."""
     out: list[EdgeViolation] = []
+    parent = tree.parent
     for v in range(tree.num_nodes):
         if v == tree.root:
             continue
-        p = tree.parent[v]
-        c = _crossings(nodes, v, p)
+        p = parent[v]
+        c = int(link[v] == p) + int(link[p] == v)
         if c == 2:
             out.append(EdgeViolation(v, p, "double"))
         elif c == 0:
             out.append(EdgeViolation(v, p, "none"))
     return out
+
+
+def find_violations(nodes: list[ArrowNode], tree: SpanningTree) -> list[EdgeViolation]:
+    """All illegal edges in the current (quiescent) configuration."""
+    return find_violations_links(_links_of(nodes), tree)
 
 
 def is_legal_configuration(nodes: list[ArrowNode], tree: SpanningTree) -> bool:
@@ -102,6 +123,35 @@ def sink_reached_from(nodes: list[ArrowNode], start: int, limit: int) -> int | N
     return None
 
 
+def stabilize_links(link: list[int], tree: SpanningTree) -> int:
+    """Repair an arbitrary quiescent pointer array in one BFS pass.
+
+    The in-place array counterpart of :func:`stabilize`, used directly by
+    the flat-heap engines' crash-repair path and by the monitors' mirror
+    replay.  Returns the number of pointer corrections applied.
+    """
+    fixes = 0
+    parent = tree.parent
+    order: deque[int] = deque([tree.root])
+    bfs: list[int] = []
+    while order:
+        u = order.popleft()
+        bfs.append(u)
+        order.extend(tree.children[u])
+    for v in bfs:
+        if v == tree.root:
+            continue
+        p = parent[v]
+        c = int(link[v] == p) + int(link[p] == v)
+        if c == 2:
+            link[v] = v
+            fixes += 1
+        elif c == 0:
+            link[v] = p
+            fixes += 1
+    return fixes
+
+
 def stabilize(nodes: list[ArrowNode], tree: SpanningTree) -> int:
     """Repair an arbitrary quiescent configuration in one BFS pass.
 
@@ -116,24 +166,12 @@ def stabilize(nodes: list[ArrowNode], tree: SpanningTree) -> int:
 
     Returns the number of pointer corrections applied.  Afterwards the
     configuration is legal: exactly one sink, every pointer chain reaches
-    it (asserted by the tests).
+    it (asserted by the tests).  This is the repair pass
+    :mod:`repro.faults` runs after a crash on the message engine; the
+    flat-heap engines run :func:`stabilize_links` on their pointer array.
     """
-    fixes = 0
-    order: deque[int] = deque([tree.root])
-    bfs: list[int] = []
-    while order:
-        u = order.popleft()
-        bfs.append(u)
-        order.extend(tree.children[u])
-    for v in bfs:
-        if v == tree.root:
-            continue
-        p = tree.parent[v]
-        c = _crossings(nodes, v, p)
-        if c == 2:
-            nodes[v].link = v
-            fixes += 1
-        elif c == 0:
-            nodes[v].link = p
-            fixes += 1
+    link = _links_of(nodes)
+    fixes = stabilize_links(link, tree)
+    for nd, target in zip(nodes, link):
+        nd.link = target
     return fixes

@@ -16,6 +16,8 @@ __all__ = [
     "ProtocolError",
     "ScheduleError",
     "SweepError",
+    "FaultPlanError",
+    "MonitorViolation",
     "MergeError",
     "OrchestratorError",
     "ShardFailedError",
@@ -60,6 +62,30 @@ class SweepError(ScheduleError):
     subclasses it to keep those callers working while giving sweep
     problems their own catchable, accurately named type.
     """
+
+
+class FaultPlanError(SweepError):
+    """Raised for malformed fault-plan specifications (bad syntax/values)."""
+
+
+class MonitorViolation(SweepError):
+    """A runtime protocol monitor observed a spec violation in a trace.
+
+    Raised by :mod:`repro.monitors` when an engine's event stream breaks
+    one of the arrow protocol's invariants.  ``monitor`` names the
+    violated invariant (``"one-pointer-per-edge"``, ``"unique-sink"``,
+    ``"token-conservation"``, ``"total-order"`` or
+    ``"completion-accounting"``) and ``at`` is the simulation time of the
+    offending event (``None`` for finalisation-time violations).
+
+    Lives under :class:`SweepError` so sweep drivers that already trap
+    sweep-layer failures surface monitor findings through the same path.
+    """
+
+    def __init__(self, message: str, *, monitor: str, at: float | None = None):
+        super().__init__(message)
+        self.monitor = monitor
+        self.at = at
 
 
 class MergeError(SweepError):

@@ -1,0 +1,825 @@
+"""Fault injection for arrow runs: crashes, link drops, message loss.
+
+The fault axis (after the dynamic-network characterisations of Casteigts
+et al.) applies a declarative :class:`FaultPlan` uniformly across the
+engines:
+
+* **node crash** (``crash@<t>:<node>``) — at time ``t`` the node resets
+  its pointer to itself and goes down: messages addressed to it are
+  dropped on arrival and its own initiations are lost, until the next
+  repair (a crash-restart model: the repair pass brings the node back
+  with a consistent pointer);
+* **link drop window** (``link@<u>-<v>:<t0>-<t1>``) — the tree link
+  {u, v} drops every message sent in ``[t0, t1)``, both directions, then
+  recovers;
+* **i.i.d. message loss** (``loss:<rate>``) — every send independently
+  drops with the given probability, drawn from the dedicated
+  ``spawn_rng(seed, "fault-loss")`` stream so the network-latency draw
+  sequence of surviving messages is untouched.
+
+A dropped ``queue`` message loses its request: the arrow protocol carries
+each request in exactly one message, so the request is *accounted lost*
+rather than retried — :class:`FaultReport` and the monitors' completion
+accounting both track it.
+
+Repair is :mod:`repro.core.stabilize`: at the first quiescent point after
+a degradation (no queue messages in flight, checked immediately before
+each initiation) and once more at the end of a degraded run, the engine
+runs the one-pass stabilisation, restamps the unique repaired sink's
+``last_rid`` with a fresh *epoch* rid (:func:`epoch_rid` — stabilisation
+can leave a stale tail whose request already has a successor, so every
+repair must start a fresh acquisition chain), and brings crashed nodes
+back up.  Recovery metrics (corrections applied, repairs run, requests
+lost, time from first degradation to repair) come back in the
+:class:`FaultReport`.
+
+Engine parity: ``engine="fast"`` and ``engine="batch"`` run one shared
+flat-heap loop (batch differs only in drawing its loss stream in
+bitstream-identical blocks); ``engine="message"`` runs the genuine
+:class:`~repro.net.network.Network` simulation with a fault-aware
+subclass.  All three produce identical results for identical inputs —
+the same event order, the same drops, the same repairs — which the fault
+differential tests enforce.
+"""
+
+from __future__ import annotations
+
+import time as _wall
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+from repro.core.arrow import ArrowNode
+from repro.core.fast_arrow import _raise_livelock, arrow_runner
+from repro.core.queueing import CompletionRecord, RunResult
+from repro.core.requests import NO_RID, ROOT_RID, RequestSchedule
+from repro.core.stabilize import find_violations_links, stabilize_links
+from repro.errors import FaultPlanError, ProtocolError
+from repro.graphs.graph import Graph
+from repro.graphs.validation import require_spanning_subgraph
+from repro.net.latency import LatencyModel, UnitLatency
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import spawn_rng
+from repro.spanning.tree import SpanningTree
+
+__all__ = [
+    "FaultPlan",
+    "FaultReport",
+    "epoch_rid",
+    "parse_fault_plan",
+    "run_arrow_faulted",
+]
+
+#: Loss draws per block refill on the batch engine (an array fill of
+#: ``Generator.random`` consumes the bitstream exactly like the same
+#: number of scalar calls, so block draws replay the scalar order).
+_LOSS_BLOCK = 4096
+
+
+def epoch_rid(k: int) -> int:
+    """The fresh rid minted for the ``k``-th repair's sink (k from 0).
+
+    Negative and below both sentinels (``ROOT_RID`` = -1, ``NO_RID`` =
+    -2), so epoch rids can never collide with schedule rids or either
+    sentinel.
+    """
+    return -3 - k
+
+
+def _fmt(x: float) -> str:
+    return format(x, "g")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A declarative, engine-independent fault scenario.
+
+    Stored canonically (crashes sorted by time then node; link windows
+    with ``u < v``, sorted), so equal plans compare equal and
+    :meth:`label` is deterministic — it doubles as the plan's identity in
+    sweep cell ids.
+    """
+
+    #: ``(node, time)`` pairs.
+    crashes: tuple[tuple[int, float], ...] = ()
+    #: ``(u, v, t_down, t_up)`` windows on tree links.
+    link_drops: tuple[tuple[int, int, float, float], ...] = ()
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        crashes = []
+        for node, t in self.crashes:
+            node, t = int(node), float(t)
+            if node < 0:
+                raise FaultPlanError(f"crash node must be >= 0, got {node}")
+            if t < 0:
+                raise FaultPlanError(f"crash time must be >= 0, got {t}")
+            crashes.append((node, t))
+        crashes.sort(key=lambda c: (c[1], c[0]))
+        drops = []
+        for u, v, t0, t1 in self.link_drops:
+            u, v, t0, t1 = int(u), int(v), float(t0), float(t1)
+            if u < 0 or v < 0 or u == v:
+                raise FaultPlanError(f"bad link endpoints ({u}, {v})")
+            if not 0 <= t0 < t1:
+                raise FaultPlanError(
+                    f"link window needs 0 <= t_down < t_up, got [{t0}, {t1})"
+                )
+            drops.append((min(u, v), max(u, v), t0, t1))
+        drops.sort()
+        rate = float(self.loss_rate)
+        if not 0.0 <= rate < 1.0:
+            raise FaultPlanError(f"loss rate must be in [0, 1), got {rate}")
+        object.__setattr__(self, "crashes", tuple(crashes))
+        object.__setattr__(self, "link_drops", tuple(drops))
+        object.__setattr__(self, "loss_rate", rate)
+
+    @property
+    def empty(self) -> bool:
+        """True iff the plan injects nothing."""
+        return not self.crashes and not self.link_drops and self.loss_rate == 0.0
+
+    def label(self) -> str:
+        """Canonical spec string; ``parse_fault_plan`` round-trips it."""
+        terms = [f"crash@{_fmt(t)}:{node}" for node, t in self.crashes]
+        terms += [
+            f"link@{u}-{v}:{_fmt(t0)}-{_fmt(t1)}"
+            for u, v, t0, t1 in self.link_drops
+        ]
+        if self.loss_rate > 0.0:
+            terms.append(f"loss:{_fmt(self.loss_rate)}")
+        return ",".join(terms)
+
+    def validate_nodes(self, num_nodes: int) -> None:
+        """Raise if any plan entry names a node outside ``[0, num_nodes)``."""
+        for node, t in self.crashes:
+            if node >= num_nodes:
+                raise FaultPlanError(
+                    f"crash@{_fmt(t)}:{node} out of range for {num_nodes} nodes"
+                )
+        for u, v, _, _ in self.link_drops:
+            if u >= num_nodes or v >= num_nodes:
+                raise FaultPlanError(
+                    f"link {u}-{v} out of range for {num_nodes} nodes"
+                )
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse a comma-separated fault-plan spec string.
+
+    Terms: ``crash@<t>:<node>``, ``link@<u>-<v>:<t0>-<t1>``,
+    ``loss:<rate>``.  An empty/whitespace string is the empty plan.
+    Raises :class:`~repro.errors.FaultPlanError` on malformed input.
+    """
+    crashes: list[tuple[int, float]] = []
+    drops: list[tuple[int, int, float, float]] = []
+    rate = 0.0
+    saw_loss = False
+    for term in text.split(","):
+        term = term.strip()
+        if not term:
+            continue
+        try:
+            if term.startswith("crash@"):
+                when, _, node = term[len("crash@"):].partition(":")
+                crashes.append((int(node), float(when)))
+            elif term.startswith("link@"):
+                edge, _, window = term[len("link@"):].partition(":")
+                u, _, v = edge.partition("-")
+                t0, _, t1 = window.partition("-")
+                drops.append((int(u), int(v), float(t0), float(t1)))
+            elif term.startswith("loss:"):
+                if saw_loss:
+                    raise FaultPlanError(f"duplicate loss term {term!r}")
+                rate = float(term[len("loss:"):])
+                saw_loss = True
+            else:
+                raise FaultPlanError(
+                    f"unknown fault term {term!r} (expected crash@<t>:<node>, "
+                    "link@<u>-<v>:<t0>-<t1> or loss:<rate>)"
+                )
+        except (ValueError, TypeError) as exc:
+            raise FaultPlanError(f"malformed fault term {term!r}: {exc}") from exc
+    return FaultPlan(tuple(crashes), tuple(drops), rate)
+
+
+@dataclass(slots=True)
+class FaultReport:
+    """Recovery metrics of one faulted run."""
+
+    requests_lost: int = 0
+    messages_dropped: int = 0
+    corrections_applied: int = 0
+    repairs_run: int = 0
+    #: Summed time from each degradation's first fault event to the
+    #: repair that cleared it.
+    time_to_recovery: float = 0.0
+    lost_rids: tuple[int, ...] = ()
+    #: Illegal tree edges remaining after the run (0 unless repair is
+    #: broken — asserted by the tests, reported for auditability).
+    final_violations: int = 0
+
+    def as_columns(self) -> dict[str, float | int]:
+        """The persisted sweep-row columns for this report."""
+        return {
+            "requests_lost": self.requests_lost,
+            "messages_dropped": self.messages_dropped,
+            "corrections_applied": self.corrections_applied,
+            "repairs_run": self.repairs_run,
+            "time_to_recovery": self.time_to_recovery,
+        }
+
+
+class _LossStream:
+    """Uniform [0, 1) draws from the ``fault-loss`` stream, in send order.
+
+    ``block=True`` refills from ``Generator.random(_LOSS_BLOCK)`` — the
+    batch engine's draw style, bitstream-identical to scalar calls.
+    """
+
+    __slots__ = ("_rng", "_buf", "_pos", "_block")
+
+    def __init__(self, rng, block: bool) -> None:
+        self._rng = rng
+        self._block = block
+        self._buf: list[float] = []
+        self._pos = 0
+
+    def one(self) -> float:
+        if not self._block:
+            return float(self._rng.random())
+        if self._pos >= len(self._buf):
+            self._buf = self._rng.random(_LOSS_BLOCK).tolist()
+            self._pos = 0
+        v = self._buf[self._pos]
+        self._pos += 1
+        return v
+
+
+def _drop_windows(
+    plan: FaultPlan, tree: SpanningTree
+) -> dict[int, tuple[tuple[float, float], ...]]:
+    """Link-drop windows keyed by the tree edge's child endpoint."""
+    parent = tree.parent
+    out: dict[int, list[tuple[float, float]]] = {}
+    for u, v, t0, t1 in plan.link_drops:
+        if parent[u] == v:
+            child = u
+        elif parent[v] == u:
+            child = v
+        else:
+            raise FaultPlanError(
+                f"link {u}-{v} is not a spanning-tree edge of this run"
+            )
+        out.setdefault(child, []).append((t0, t1))
+    return {c: tuple(ws) for c, ws in out.items()}
+
+
+class _FaultState:
+    """Shared fault bookkeeping: drop decisions, degradation, recovery.
+
+    One instance per run; both the flat-heap loop and the message-engine
+    network subclass drive the same state machine, which is what keeps
+    the engines' fault semantics identical.
+    """
+
+    __slots__ = (
+        "tree",
+        "parent",
+        "down",
+        "windows",
+        "loss_rate",
+        "loss",
+        "in_flight",
+        "degraded",
+        "degraded_since",
+        "lost",
+        "report",
+        "emit",
+    )
+
+    def __init__(
+        self,
+        tree: SpanningTree,
+        plan: FaultPlan,
+        seed: int,
+        *,
+        block_loss: bool,
+        emit,
+    ) -> None:
+        self.tree = tree
+        self.parent = tree.parent
+        self.down = [False] * tree.num_nodes
+        self.windows = _drop_windows(plan, tree)
+        self.loss_rate = plan.loss_rate
+        self.loss = (
+            _LossStream(spawn_rng(seed, "fault-loss"), block_loss)
+            if plan.loss_rate > 0.0
+            else None
+        )
+        self.in_flight = 0
+        self.degraded = False
+        self.degraded_since = 0.0
+        self.lost: set[int] = set()
+        self.report = FaultReport()
+        self.emit = emit
+
+    # -- degradation ----------------------------------------------------
+    def _degrade(self, now: float) -> None:
+        if not self.degraded:
+            self.degraded = True
+            self.degraded_since = now
+
+    def crash(self, node: int, now: float) -> bool:
+        """Apply a crash event; returns True if the pointer was reset."""
+        self.down[node] = True
+        self._degrade(now)
+        if self.emit is not None:
+            self.emit("crash", node, now)
+        return True
+
+    # -- drop decisions (checked in this order on both engines) ---------
+    def drops_send(self, src: int, dst: int, rid: int, now: float) -> bool:
+        """Fault check for one send; records the drop if it happens.
+
+        The link-down window is checked first (no draw); only then does a
+        positive loss rate consume one ``fault-loss`` draw — so the draw
+        sequence is a pure function of the surviving-send order.
+        """
+        child = dst if self.parent[dst] == src else src
+        for t0, t1 in self.windows.get(child, ()):
+            if t0 <= now < t1:
+                self._record_drop(rid, src, dst, now)
+                return True
+        if self.loss is not None and self.loss.one() < self.loss_rate:
+            self._record_drop(rid, src, dst, now)
+            return True
+        return False
+
+    def drops_arrival(self, src: int, dst: int, rid: int, now: float) -> bool:
+        """Drop messages reaching a crashed node (the message was in flight)."""
+        if not self.down[dst]:
+            return False
+        self.in_flight -= 1
+        self._record_drop(rid, src, dst, now)
+        return True
+
+    def _record_drop(self, rid: int, src: int, dst: int, now: float) -> None:
+        self.report.messages_dropped += 1
+        self.lost.add(rid)
+        self._degrade(now)
+        if self.emit is not None:
+            self.emit("drop", rid, src, dst, now)
+
+    def drop_initiation(self, rid: int, node: int, now: float) -> None:
+        """A request issued on a down node is lost outright (no message)."""
+        self.lost.add(rid)
+        if self.emit is not None:
+            self.emit("drop", rid, -1, node, now)
+
+    # -- repair ---------------------------------------------------------
+    def repair_due(self) -> bool:
+        """Repair runs only at quiescent points: degraded, nothing in flight."""
+        return self.degraded and self.in_flight == 0
+
+    def repair(self, link: list[int], now: float) -> tuple[int, int]:
+        """Stabilise ``link`` in place; returns ``(sink, epoch_rid)``.
+
+        The caller must restamp ``last_rid[sink]`` with the returned
+        epoch rid — a repaired sink's stale tail may already have a
+        successor, so every repair starts a fresh acquisition chain.
+        """
+        rep = self.report
+        fixes = stabilize_links(link, self.tree)
+        sink = next(v for v, x in enumerate(link) if x == v)
+        er = epoch_rid(rep.repairs_run)
+        rep.corrections_applied += fixes
+        rep.repairs_run += 1
+        rep.time_to_recovery += now - self.degraded_since
+        for v in range(len(self.down)):
+            self.down[v] = False
+        self.degraded = False
+        if self.emit is not None:
+            self.emit("repair", fixes, er, sink, now)
+        return sink, er
+
+    # -- epilogue -------------------------------------------------------
+    def finish(
+        self, link: list[int], completions: int, total: int
+    ) -> FaultReport:
+        rep = self.report
+        rep.requests_lost = len(self.lost)
+        rep.lost_rids = tuple(sorted(self.lost))
+        rep.final_violations = len(find_violations_links(link, self.tree))
+        if completions + rep.requests_lost != total:
+            raise ProtocolError(
+                f"faulted run accounted {completions} completions + "
+                f"{rep.requests_lost} lost of {total} requests"
+            )
+        return rep
+
+
+# ----------------------------------------------------------------------
+# the flat-heap faulted loop (engines "fast" and "batch")
+# ----------------------------------------------------------------------
+# Heap tuples are (time, seq, tag, node, src, rid, hops); seq is globally
+# unique, so ordering reduces to the kernel's (time, seq) tie-breaking.
+_CRASH = 0
+_ARRIVE = 1
+_DISPATCH = 2
+
+
+def _run_flat_faulted(
+    graph: Graph,
+    tree: SpanningTree,
+    schedule: RequestSchedule,
+    plan: FaultPlan,
+    *,
+    latency: LatencyModel,
+    seed: int,
+    service_time: float,
+    max_events: int | None,
+    on_event,
+    block_loss: bool,
+) -> tuple[RunResult, FaultReport]:
+    """The fault-aware flat-heap loop (mirrors ``FastArrowEngine``).
+
+    Kernel-parity sequence numbering: initiations own seqs ``0..m-1``,
+    the plan's crash events ``m..m+c-1`` (the message runner schedules
+    them in exactly that order), messages count on from ``m+c``; dropped
+    sends consume no sequence number, no latency draw and no FIFO clamp —
+    the message engine never reaches ``transmit`` for them either.
+    """
+    n = tree.num_nodes
+    root = tree.root
+    parent = list(tree.parent)
+    weight = [0.0] * n
+    for v in range(n):
+        if v != root:
+            weight[v] = graph.weight(v, parent[v])
+
+    rng = spawn_rng(seed, "network-latency")
+    sample = latency.sample
+    det_up = det_down = None
+    if not latency.stochastic:
+        det_up = [
+            sample(v, parent[v], weight[v], rng) if v != root else 0.0
+            for v in range(n)
+        ]
+        det_down = [
+            sample(parent[v], v, weight[v], rng) if v != root else 0.0
+            for v in range(n)
+        ]
+
+    link = parent[:]
+    link[root] = root
+    last_rid = [NO_RID] * n
+    last_rid[root] = ROOT_RID
+    last_delivery = [0.0] * (2 * n)
+    busy_until = [0.0] * n
+    service = service_time
+
+    emit = on_event
+    fs = _FaultState(tree, plan, seed, block_loss=block_loss, emit=emit)
+    down = fs.down
+
+    result = RunResult(schedule)
+    done: list[tuple[int, int, int, float, int]] = []
+    append = done.append
+
+    init_times = schedule.times
+    init_nodes = schedule.nodes
+    m = len(init_times)
+    heap: list[tuple[float, int, int, int, int, int, int]] = [
+        (t, m + k, _CRASH, v, -1, -1, 0)
+        for k, (v, t) in enumerate(plan.crashes)
+    ]
+    heap.sort()
+    seq = m + len(plan.crashes)
+    limit = float("inf") if max_events is None else max_events
+    i = 0
+    fired = 0
+    messages = 0
+    now = 0.0
+
+    t0_wall = _wall.perf_counter()
+    while True:
+        if i < m and (not heap or init_times[i] <= heap[0][0]):
+            # Initiation of request i; the quiescent-point repair check
+            # runs first, so the request sees a consistent configuration
+            # whenever one is restorable.
+            now = init_times[i]
+            v = init_nodes[i]
+            rid = i
+            i += 1
+            fired += 1
+            if fired > limit:
+                _raise_livelock(max_events)
+            if fs.repair_due():
+                sink, er = fs.repair(link, now)
+                last_rid[sink] = er
+            if down[v]:
+                fs.drop_initiation(rid, v, now)
+                continue
+            if emit is not None:
+                emit("init", rid, v, now)
+            x = link[v]
+            if x == v:
+                if emit is not None:
+                    emit("complete", rid, last_rid[v], v, now, 0)
+                append((rid, last_rid[v], v, now, 0))
+                last_rid[v] = rid
+                continue
+            last_rid[v] = rid
+            link[v] = v
+            dst = x
+            hops = 1
+        elif heap:
+            now, _, tag, v, src, rid, hops = heappop(heap)
+            fired += 1
+            if fired > limit:
+                _raise_livelock(max_events)
+            if tag == _CRASH:
+                fs.crash(v, now)
+                link[v] = v
+                continue
+            if tag == _ARRIVE:
+                if fs.drops_arrival(src, v, rid, now):
+                    continue
+                if service > 0.0:
+                    # Serialise handling at v (Network._arrive).
+                    begin = busy_until[v]
+                    if now > begin:
+                        begin = now
+                    finish = begin + service
+                    busy_until[v] = finish
+                    heappush(heap, (finish, seq, _DISPATCH, v, src, rid, hops))
+                    seq += 1
+                    continue
+            elif fs.drops_arrival(src, v, rid, now):
+                # _DISPATCH: the node crashed while the message waited
+                # for service — it is dropped at the handler, undelivered.
+                continue
+            # Path reversal (ArrowNode.on_message).
+            fs.in_flight -= 1
+            if emit is not None:
+                emit("deliver", rid, v, src, now)
+            x = link[v]
+            link[v] = src
+            if x == v:
+                if emit is not None:
+                    emit("complete", rid, last_rid[v], v, now, hops)
+                append((rid, last_rid[v], v, now, hops))
+                continue
+            dst = x
+            hops += 1
+        else:
+            break
+
+        # One link traversal v -> dst, fault checks first (a dropped send
+        # consumes no seq, no draw, no FIFO clamp — it never transmits).
+        if emit is not None:
+            emit("send", rid, v, dst, now)
+        if fs.drops_send(v, dst, rid, now):
+            continue
+        down_dir = parent[dst] == v
+        if det_up is None:
+            delay = sample(v, dst, weight[dst if down_dir else v], rng)
+        else:
+            delay = det_down[dst] if down_dir else det_up[v]
+        chan = 2 * dst + 1 if down_dir else 2 * v
+        at = now + delay
+        if at < last_delivery[chan]:
+            at = last_delivery[chan]
+        last_delivery[chan] = at
+        heappush(heap, (at, seq, _ARRIVE, dst, v, rid, hops))
+        seq += 1
+        messages += 1
+        fs.in_flight += 1
+
+    if fs.degraded:
+        # End-of-run repair: the heap drained, so the run is quiescent.
+        sink, er = fs.repair(link, now)
+        last_rid[sink] = er
+    wall = _wall.perf_counter() - t0_wall
+
+    completions = result.completions
+    for row in done:
+        completions[row[0]] = CompletionRecord(*row)
+    if len(completions) != len(done):
+        raise ProtocolError("a request completed twice")
+    result.makespan = now if fired else 0.0
+    result.wall_seconds = wall
+    result.network_stats = {
+        "messages_sent": messages,
+        "link_messages": messages,
+        "routed_messages": 0,
+        "hops_total": messages,
+    }
+    report = fs.finish(link, len(completions), m)
+    return result, report
+
+
+# ----------------------------------------------------------------------
+# the message engine: a fault-aware Network
+# ----------------------------------------------------------------------
+class _FaultyNetwork(Network):
+    """A :class:`Network` that applies a :class:`_FaultState` to queue traffic.
+
+    Drop checks run before any stats/latency/FIFO side effect, so a
+    dropped message is observationally absent — exactly like the flat
+    loop, which never transmits it.
+    """
+
+    def __init__(self, *args, fault_state: _FaultState, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._fs = fault_state
+
+    def send_link(self, src, dst, kind, payload=None):
+        fs = self._fs
+        if fs.drops_send(src, dst, (payload or {}).get("rid", -1), self.sim.now):
+            return None
+        msg = super().send_link(src, dst, kind, payload)
+        fs.in_flight += 1
+        return msg
+
+    def forward(self, msg: Message, new_dst: int):
+        fs = self._fs
+        if fs.drops_send(msg.dst, new_dst, msg.payload.get("rid", -1), self.sim.now):
+            return None
+        nxt = super().forward(msg, new_dst)
+        fs.in_flight += 1
+        return nxt
+
+    def _arrive(self, msg: Message) -> None:
+        # Pre-service drop: a down node's queue never accepts the message.
+        if msg.kind == "queue" and self._fs.drops_arrival(
+            msg.src, msg.dst, msg.payload.get("rid", -1), self.sim.now
+        ):
+            return
+        super()._arrive(msg)
+
+    def _dispatch(self, msg: Message) -> None:
+        if msg.kind == "queue":
+            fs = self._fs
+            if fs.drops_arrival(
+                msg.src, msg.dst, msg.payload.get("rid", -1), self.sim.now
+            ):
+                # The node crashed while the message waited for service.
+                return
+            fs.in_flight -= 1
+        super()._dispatch(msg)
+
+
+def _run_message_faulted(
+    graph: Graph,
+    tree: SpanningTree,
+    schedule: RequestSchedule,
+    plan: FaultPlan,
+    *,
+    latency: LatencyModel,
+    seed: int,
+    service_time: float,
+    max_events: int | None,
+    on_event,
+) -> tuple[RunResult, FaultReport]:
+    """Genuine message-level run under the fault model."""
+    sim = Simulator(max_events=max_events)
+    fs = _FaultState(tree, plan, seed, block_loss=False, emit=on_event)
+    net = _FaultyNetwork(
+        graph,
+        sim,
+        latency,
+        seed=seed,
+        service_time=service_time,
+        fault_state=fs,
+    )
+    result = RunResult(schedule)
+
+    def on_complete(rid: int, pred: int, node: int, when: float, hops: int) -> None:
+        result.record(CompletionRecord(rid, pred, node, when, hops))
+
+    nodes = [ArrowNode(on_complete) for _ in range(graph.num_nodes)]
+    net.register_all(nodes)
+    for nd in nodes:
+        nd.init_pointers(tree)
+        nd.on_event = on_event
+
+    def repair_nodes(now: float) -> None:
+        link = [nd.link for nd in nodes]
+        sink, er = fs.repair(link, now)
+        for nd, target in zip(nodes, link):
+            nd.link = target
+        nodes[sink].last_rid = er
+
+    def initiate(req_node: int, rid: int) -> None:
+        # Quiescent-point repair check, then the down-node gate — the
+        # flat loop runs the identical sequence before each initiation.
+        if fs.repair_due():
+            repair_nodes(sim.now)
+        if fs.down[req_node]:
+            fs.drop_initiation(rid, req_node, sim.now)
+            return
+        nodes[req_node].initiate(rid)
+
+    def crash(node: int) -> None:
+        fs.crash(node, sim.now)
+        nodes[node].link = node
+
+    # Kernel-parity sequence numbering: initiations first (seqs 0..m-1),
+    # then the crash events (m..m+c-1) — the flat loop replays exactly
+    # these sequence numbers.
+    for req in schedule:
+        sim.call_at(req.time, initiate, req.node, req.rid)
+    for node, t in plan.crashes:
+        sim.call_at(t, crash, node)
+
+    t0 = _wall.perf_counter()
+    result.makespan = sim.run()
+    if fs.degraded:
+        repair_nodes(result.makespan)
+    result.wall_seconds = _wall.perf_counter() - t0
+    result.network_stats = net.stats.as_dict()
+
+    report = fs.finish(
+        [nd.link for nd in nodes], len(result.completions), len(schedule)
+    )
+    return result, report
+
+
+# ----------------------------------------------------------------------
+# public entry point
+# ----------------------------------------------------------------------
+def run_arrow_faulted(
+    graph: Graph,
+    tree: SpanningTree,
+    schedule: RequestSchedule,
+    plan: FaultPlan | str,
+    *,
+    engine: str = "fast",
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    service_time: float = 0.0,
+    max_events: int | None = None,
+    on_event=None,
+) -> tuple[RunResult, FaultReport]:
+    """Run the arrow protocol under a fault plan; results plus recovery report.
+
+    Accepts the open-loop model knobs of :func:`repro.core.runner.run_arrow`
+    plus the ``engine`` selector (``"fast"``, ``"batch"``, ``"message"``).
+    For the empty plan the returned :class:`RunResult` is bit-identical
+    to the fault-free engines' — the run is in fact delegated to the
+    selected stock engine, so an empty plan costs nothing beyond one
+    dispatch.  ``on_event`` receives the protocol trace *including* the
+    fault vocabulary (``drop``/``crash``/``repair``), so an attached
+    :class:`repro.monitors.ArrowMonitor` audits the recovery path too.
+    """
+    if isinstance(plan, str):
+        plan = parse_fault_plan(plan)
+    if service_time < 0:
+        raise ProtocolError(f"service_time must be >= 0, got {service_time}")
+    schedule.validate_nodes(graph.num_nodes)
+    require_spanning_subgraph(graph, [(u, v) for u, v, _ in tree.edges()])
+    plan.validate_nodes(graph.num_nodes)
+    model = latency if latency is not None else UnitLatency()
+    if plan.empty and engine in ("fast", "batch", "message"):
+        result = arrow_runner(engine)(
+            graph,
+            tree,
+            schedule,
+            latency=model,
+            seed=seed,
+            service_time=float(service_time),
+            max_events=max_events,
+            on_event=on_event,
+        )
+        return result, FaultReport()
+    if engine in ("fast", "batch"):
+        return _run_flat_faulted(
+            graph,
+            tree,
+            schedule,
+            plan,
+            latency=model,
+            seed=seed,
+            service_time=float(service_time),
+            max_events=max_events,
+            on_event=on_event,
+            block_loss=engine == "batch",
+        )
+    if engine == "message":
+        return _run_message_faulted(
+            graph,
+            tree,
+            schedule,
+            plan,
+            latency=model,
+            seed=seed,
+            service_time=float(service_time),
+            max_events=max_events,
+            on_event=on_event,
+        )
+    raise ValueError(
+        f"engine must be 'fast', 'message' or 'batch', got {engine!r}"
+    )

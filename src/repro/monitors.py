@@ -1,0 +1,471 @@
+"""Declarative runtime monitors for arrow protocol traces.
+
+The three arrow engines (message, fast, batch — open and closed loop)
+accept an ``on_event`` hook and, when it is set, emit one call per
+protocol transition.  :class:`ArrowMonitor` consumes that stream and
+checks the Kuhn–Wattenhofer invariants *while the run executes*, by
+maintaining an independent mirror of the spec's state machine
+(``link`` pointers, ``last_rid`` tails, the set of in-flight ``queue``
+messages) and validating every event against it:
+
+``one-pointer-per-edge``
+    every spanning-tree edge is crossed by exactly one arrow — a pointer
+    crossing or an in-flight message traversing it;
+``unique-sink``
+    the number of sinks always equals the number of in-flight messages
+    plus one (exactly one queue tail per quiescent region);
+``token-conservation``
+    no request is lost or duplicated: each issued rid completes at most
+    once, every in-flight message is delivered (or explicitly dropped by
+    an injected fault) exactly once;
+``total-order``
+    completions form a single successor chain — every predecessor has at
+    most one successor, and the chain starts at the virtual root request
+    (or, after a repair, at a repair epoch);
+``completion-accounting``
+    at the end of the run every issued request either completed or is
+    accounted lost to an injected fault.
+
+The protocol's transitions are atomic, so a *correct* engine preserves
+the edge/sink invariants at every event boundary; the per-event checks
+therefore validate each transition against the mirror (send target must
+equal the mirrored pointer, delivery must match an in-flight message,
+a completion's predecessor must match the mirrored tail), which is both
+exact and O(1) per event.  ``deep=True`` additionally rescans the whole
+configuration after every atomic transition — O(n) per event, meant for
+the property-based fuzz harness's small instances.
+
+Fault events (:mod:`repro.faults`) put the monitor in a *degraded* mode
+in which the configuration invariants are suspended — a crash or a lost
+message legitimately breaks them — until the engine's ``repair`` event,
+at which point the monitor replays the same
+:func:`repro.core.stabilize.stabilize_links` pass on its mirror,
+cross-checks the engine's correction count and epoch bookkeeping, and
+re-arms the invariants.
+
+Violations raise :class:`repro.errors.MonitorViolation` (under
+``SweepError``).  Monitors never touch the run's results: a monitored
+fault-free sweep writes byte-identical JSONL to an unmonitored one.
+"""
+
+from __future__ import annotations
+
+from repro.core.requests import ROOT_RID
+from repro.core.stabilize import find_violations_links, stabilize_links
+from repro.errors import MonitorViolation
+from repro.spanning.tree import SpanningTree
+
+__all__ = ["ArrowMonitor", "MONITOR_NAMES"]
+
+#: The invariant checkers an :class:`ArrowMonitor` enforces, by the name
+#: each reports in :class:`~repro.errors.MonitorViolation.monitor`.
+MONITOR_NAMES = (
+    "one-pointer-per-edge",
+    "unique-sink",
+    "token-conservation",
+    "total-order",
+    "completion-accounting",
+)
+
+
+class ArrowMonitor:
+    """Streaming invariant checker for one arrow run.
+
+    Attach by passing the instance as the engine's ``on_event``; call
+    :meth:`finalize` after the run returns.  The event vocabulary (all
+    times are simulation times):
+
+    ``("init", rid, node, t)``
+        request ``rid`` issued at ``node`` (atomic initiation);
+    ``("send", rid, src, dst, t)``
+        the request's ``queue`` message traverses tree link src→dst;
+    ``("deliver", rid, node, src, t)``
+        the message from ``src`` is handled at ``node`` (path reversal);
+    ``("complete", rid, pred, node, t, hops)``
+        ``rid`` queued behind ``pred``; ``node`` was the sink;
+    ``("drop", rid, src, dst, t)``
+        fault injection lost the message (``src == -1``: a request whose
+        initiation fired on a crashed node);
+    ``("crash", node, t)``
+        ``node`` crashed: pointer reset to itself, arrivals dropped;
+    ``("repair", corrections, epoch_rid, sink, t)``
+        the engine ran the stabilisation pass at a quiescent point.
+    """
+
+    __slots__ = (
+        "tree",
+        "deep",
+        "_n",
+        "_parent",
+        "_link",
+        "_last_rid",
+        "_sinks",
+        "_in_flight",
+        "_edge_msgs",
+        "_expect_send",
+        "_expect_complete",
+        "_issued",
+        "_completed",
+        "_succ",
+        "_lost",
+        "_down",
+        "_degraded",
+        "_epochs",
+        "_events",
+        "violation_count",
+    )
+
+    def __init__(self, tree: SpanningTree, *, deep: bool = False) -> None:
+        self.tree = tree
+        self.deep = deep
+        n = tree.num_nodes
+        self._n = n
+        self._parent = list(tree.parent)
+        # Mirror of the initial configuration (ArrowNode.init_pointers).
+        self._link = self._parent[:]
+        self._link[tree.root] = tree.root
+        self._last_rid = [None] * n
+        self._last_rid[tree.root] = ROOT_RID
+        self._sinks = 1
+        #: rid -> (src, dst) of its in-flight queue message.
+        self._in_flight: dict[int, tuple[int, int]] = {}
+        #: child node -> in-flight messages crossing the edge to its parent.
+        self._edge_msgs = [0] * n
+        #: rid -> (src, dst) send the mirrored transition mandates next.
+        self._expect_send: dict[int, tuple[int, int]] = {}
+        #: rid -> (pred, node) completion the mirrored transition mandates.
+        self._expect_complete: dict[int, tuple[int, int]] = {}
+        self._issued: set[int] = set()
+        self._completed: set[int] = set()
+        self._succ: dict[int, int] = {}
+        self._lost: set[int] = set()
+        self._down: set[int] = set()
+        self._degraded = False
+        #: Epoch rids minted by repairs — legal chain heads besides ROOT_RID.
+        self._epochs: set[int] = set()
+        self._events = 0
+        self.violation_count = 0
+
+    # ------------------------------------------------------------------
+    def _fail(self, monitor: str, at: float | None, msg: str) -> None:
+        self.violation_count += 1
+        raise MonitorViolation(
+            f"[{monitor}] {msg}", monitor=monitor, at=at
+        )
+
+    def _edge_child(self, u: int, v: int, at: float) -> int:
+        """The child endpoint of tree edge {u, v} (the edge's index)."""
+        if self._parent[u] == v:
+            return u
+        if self._parent[v] == u:
+            return v
+        self._fail(
+            "one-pointer-per-edge", at,
+            f"message traverses non-tree edge ({u}, {v})",
+        )
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    def __call__(self, kind: str, *args) -> None:
+        self._events += 1
+        if kind == "send":
+            self._on_send(*args)
+        elif kind == "deliver":
+            self._on_deliver(*args)
+        elif kind == "init":
+            self._on_init(*args)
+        elif kind == "complete":
+            self._on_complete(*args)
+        elif kind == "drop":
+            self._on_drop(*args)
+        elif kind == "crash":
+            self._on_crash(*args)
+        elif kind == "repair":
+            self._on_repair(*args)
+        else:
+            self._fail("token-conservation", None, f"unknown event {kind!r}")
+        if self.deep and not self._expect_send and not self._expect_complete:
+            self._check_config(args[-1] if args else None)
+
+    # ------------------------------------------------------------------
+    def _on_init(self, rid: int, node: int, t: float) -> None:
+        if rid in self._issued:
+            self._fail(
+                "token-conservation", t, f"request {rid} issued twice"
+            )
+        self._issued.add(rid)
+        if node in self._down:
+            self._fail(
+                "token-conservation", t,
+                f"request {rid} issued on crashed node {node}",
+            )
+        x = self._link[node]
+        if x == node:
+            # Local find: the mirror mandates an immediate completion
+            # behind the node's previous request.
+            self._expect_complete[rid] = (self._last_rid[node], node)
+            self._last_rid[node] = rid
+            return
+        self._last_rid[node] = rid
+        self._link[node] = node
+        self._sinks += 1
+        self._expect_send[rid] = (node, x)
+
+    def _on_send(self, rid: int, src: int, dst: int, t: float) -> None:
+        want = self._expect_send.pop(rid, None)
+        if want is None:
+            self._fail(
+                "token-conservation", t,
+                f"request {rid}: send {src}->{dst} without a pending "
+                "initiation or forward",
+            )
+        if want != (src, dst):
+            self._fail(
+                "one-pointer-per-edge", t,
+                f"request {rid}: sent {src}->{dst} but the mirrored "
+                f"pointer mandates {want[0]}->{want[1]}",
+            )
+        self._in_flight[rid] = (src, dst)
+        self._edge_msgs[self._edge_child(src, dst, t)] += 1
+
+    def _on_deliver(self, rid: int, node: int, src: int, t: float) -> None:
+        flight = self._in_flight.pop(rid, None)
+        if flight is None:
+            self._fail(
+                "token-conservation", t,
+                f"request {rid} delivered at {node} but not in flight",
+            )
+        if flight != (src, node):
+            self._fail(
+                "token-conservation", t,
+                f"request {rid} delivered at {node} from {src} but was "
+                f"in flight {flight[0]}->{flight[1]}",
+            )
+        if node in self._down:
+            self._fail(
+                "token-conservation", t,
+                f"request {rid} delivered at crashed node {node}",
+            )
+        self._edge_msgs[self._edge_child(src, node, t)] -= 1
+        # Path reversal on the mirror.
+        x = self._link[node]
+        self._link[node] = src
+        if x == node:
+            self._sinks -= 1
+            self._expect_complete[rid] = (self._last_rid[node], node)
+        else:
+            self._expect_send[rid] = (node, x)
+
+    def _on_complete(
+        self, rid: int, pred: int, node: int, t: float, hops: int
+    ) -> None:
+        want = self._expect_complete.pop(rid, None)
+        if want is None:
+            self._fail(
+                "token-conservation", t,
+                f"request {rid} completed at {node} without reaching a sink",
+            )
+        if rid in self._completed:
+            self._fail(
+                "token-conservation", t, f"request {rid} completed twice"
+            )
+        want_pred, want_node = want
+        if node != want_node:
+            self._fail(
+                "unique-sink", t,
+                f"request {rid} completed at {node}, but the mirrored sink "
+                f"is {want_node}",
+            )
+        if want_pred is None or pred != want_pred:
+            self._fail(
+                "total-order", t,
+                f"request {rid} queued behind {pred}, but the sink's "
+                f"mirrored tail is {want_pred}",
+            )
+        if pred in self._succ:
+            self._fail(
+                "total-order", t,
+                f"requests {self._succ[pred]} and {rid} both queued "
+                f"behind {pred}",
+            )
+        self._succ[pred] = rid
+        self._completed.add(rid)
+
+    # ------------------------------------------------------------------
+    # fault events
+    # ------------------------------------------------------------------
+    def _on_drop(self, rid: int, src: int, dst: int, t: float) -> None:
+        self._degraded = True
+        if src < 0:
+            # A request whose initiation fired on a crashed node: it was
+            # never issued into the protocol, only accounted lost.
+            if rid in self._issued:
+                self._fail(
+                    "token-conservation", t,
+                    f"request {rid} dropped at initiation but already issued",
+                )
+            self._lost.add(rid)
+            return
+        flight = self._in_flight.pop(rid, None)
+        if flight != (src, dst):
+            self._fail(
+                "token-conservation", t,
+                f"request {rid}: drop of {src}->{dst} does not match the "
+                f"in-flight message {flight}",
+            )
+        self._edge_msgs[self._edge_child(src, dst, t)] -= 1
+        self._lost.add(rid)
+
+    def _on_crash(self, node: int, t: float) -> None:
+        self._degraded = True
+        self._down.add(node)
+        if self._link[node] != node:
+            self._sinks += 1
+        self._link[node] = node
+
+    def _on_repair(
+        self, corrections: int, epoch_rid: int, sink: int, t: float
+    ) -> None:
+        if self._in_flight:
+            self._fail(
+                "unique-sink", t,
+                f"repair ran with {len(self._in_flight)} messages in flight "
+                "(not a quiescent point)",
+            )
+        # Replay the one-pass stabilisation on the mirror and cross-check
+        # the engine's bookkeeping against it.
+        fixes = stabilize_links(self._link, self.tree)
+        if fixes != corrections:
+            self._fail(
+                "one-pointer-per-edge", t,
+                f"engine repair applied {corrections} corrections, the "
+                f"mirror's stabilisation pass applied {fixes}",
+            )
+        bad = find_violations_links(self._link, self.tree)
+        if bad:
+            self._fail(
+                "one-pointer-per-edge", t,
+                f"configuration still illegal after repair: {bad[:3]}",
+            )
+        sinks = sum(1 for v in range(self._n) if self._link[v] == v)
+        if sinks != 1 or self._link[sink] != sink:
+            self._fail(
+                "unique-sink", t,
+                f"repair reported sink {sink}, mirror has {sinks} sink(s)",
+            )
+        self._sinks = 1
+        self._last_rid[sink] = epoch_rid
+        self._epochs.add(epoch_rid)
+        self._down.clear()
+        self._degraded = False
+
+    # ------------------------------------------------------------------
+    def _check_config(self, at: float | None) -> None:
+        """Full O(n) rescan of the edge and sink invariants."""
+        if self._degraded:
+            return
+        link = self._link
+        parent = self._parent
+        root = self.tree.root
+        for v in range(self._n):
+            if v == root:
+                continue
+            p = parent[v]
+            c = int(link[v] == p) + int(link[p] == v) + self._edge_msgs[v]
+            if c != 1:
+                self._fail(
+                    "one-pointer-per-edge", at,
+                    f"edge ({v}, {p}) crossed by {c} arrows "
+                    "(pointers + in-flight messages); exactly 1 required",
+                )
+        sinks = sum(1 for v in range(self._n) if link[v] == v)
+        if sinks != self._sinks:
+            self._fail(
+                "unique-sink", at,
+                f"sink bookkeeping drifted: counted {sinks}, "
+                f"tracked {self._sinks}",
+            )
+        if sinks != len(self._in_flight) + 1:
+            self._fail(
+                "unique-sink", at,
+                f"{sinks} sinks with {len(self._in_flight)} in-flight "
+                "messages; sinks must equal in-flight + 1",
+            )
+
+    # ------------------------------------------------------------------
+    def finalize(self, expected: int | None = None) -> None:
+        """End-of-run checks; call after the engine returns.
+
+        ``expected`` is the total number of requests the workload issued
+        (schedule length / closed-loop budget); when given, every one of
+        them must have completed or be accounted lost.
+        """
+        if self._expect_send or self._expect_complete:
+            self._fail(
+                "token-conservation", None,
+                "run ended mid-transition: "
+                f"{len(self._expect_send)} pending sends, "
+                f"{len(self._expect_complete)} pending completions",
+            )
+        if self._in_flight:
+            self._fail(
+                "token-conservation", None,
+                f"run ended with {len(self._in_flight)} messages in flight: "
+                f"{sorted(self._in_flight)[:5]}",
+            )
+        overlap = self._completed & self._lost
+        if overlap:
+            self._fail(
+                "completion-accounting", None,
+                f"requests both completed and lost: {sorted(overlap)[:5]}",
+            )
+        if expected is not None:
+            accounted = len(self._completed) + len(self._lost)
+            if accounted != expected:
+                self._fail(
+                    "completion-accounting", None,
+                    f"{expected} requests issued, {len(self._completed)} "
+                    f"completed + {len(self._lost)} lost = {accounted}",
+                )
+        # Total order: chain heads must be the virtual root, a repair
+        # epoch, or a lost request (whose successor legitimately dangles).
+        heads = set(self._succ) - set(self._succ.values())
+        allowed = {ROOT_RID} | self._epochs | self._lost
+        bad_heads = heads - allowed
+        if bad_heads:
+            self._fail(
+                "total-order", None,
+                f"successor chains start at {sorted(bad_heads)[:5]}, which "
+                "are neither the root request, a repair epoch, nor lost",
+            )
+        if not self._epochs and not self._lost and self._succ:
+            # Fault-free: one chain from ROOT_RID covering every completion.
+            chain = 0
+            cur = ROOT_RID
+            while cur in self._succ:
+                cur = self._succ[cur]
+                chain += 1
+            if chain != len(self._completed):
+                self._fail(
+                    "total-order", None,
+                    f"root chain covers {chain} of "
+                    f"{len(self._completed)} completions",
+                )
+        if not self._degraded:
+            self._check_config(None)
+
+    # ------------------------------------------------------------------
+    @property
+    def events_seen(self) -> int:
+        """Number of events consumed (diagnostics)."""
+        return self._events
+
+    @property
+    def completed(self) -> frozenset[int]:
+        """Rids whose completion the monitor observed."""
+        return frozenset(self._completed)
+
+    @property
+    def lost(self) -> frozenset[int]:
+        """Rids accounted lost to injected faults."""
+        return frozenset(self._lost)

@@ -62,9 +62,11 @@ def _row_shape_problems(row: dict[str, Any], label: str) -> list[str]:
     """Structural invariants every executor row must satisfy.
 
     The latency histogram's bin counts must cover exactly the cell's
-    requests (the executor always emits ``DEFAULT_BINS`` buckets), so a
-    violated invariant means a truncated or hand-edited file — worth
-    failing a verification over even when both inputs agree.
+    *completed* requests — every issued request minus the ones a fault
+    plan lost (``requests_lost``, absent on fault-free rows) — and the
+    executor always emits ``DEFAULT_BINS`` buckets, so a violated
+    invariant means a truncated or hand-edited file — worth failing a
+    verification over even when both inputs agree.
     """
     from repro.sweep.stats import DEFAULT_BINS
 
@@ -76,11 +78,13 @@ def _row_shape_problems(row: dict[str, Any], label: str) -> list[str]:
                 f"{label}: latency_hist has {len(hist)} bins, "
                 f"expected {DEFAULT_BINS}"
             )
-        elif "requests" in row and sum(hist) != row["requests"]:
-            problems.append(
-                f"{label}: latency_hist counts {sum(hist)} requests, "
-                f"row says {row['requests']}"
-            )
+        elif "requests" in row:
+            completed = row["requests"] - row.get("requests_lost", 0)
+            if sum(hist) != completed:
+                problems.append(
+                    f"{label}: latency_hist counts {sum(hist)} completed "
+                    f"requests, row says {completed}"
+                )
     return problems
 
 

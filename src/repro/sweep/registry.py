@@ -50,6 +50,9 @@ class CellFamily:
     the spec's ``engine`` axis — message-level-only families (the
     directory designs, the adaptive baseline) ignore it, and their rows
     carry a ``protocol`` column naming what actually ran.
+    ``supports_faults`` marks families whose ``to_row`` honours a
+    non-empty ``cell.faults`` plan (the open-loop arrow families); specs
+    reject fault plans on any other family at build time.
     """
 
     name: str
@@ -58,6 +61,7 @@ class CellFamily:
     to_row: RowFn
     validate: Validator | None = field(default=None)
     uses_engine: bool = True
+    supports_faults: bool = False
 
     def validate_params(self, params: Mapping[str, object]) -> None:
         """Reject unknown parameter names, then bad values (hook)."""

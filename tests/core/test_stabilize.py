@@ -118,3 +118,48 @@ def test_stabilize_from_random_corruption(seed):
     stabilize(nodes, tree)
     assert is_legal_configuration(nodes, tree)
     assert count_sinks(nodes) == 1
+
+
+# ----------------------------------------------------------------------
+# stabilisation as the live crash-repair step (driven by repro.faults)
+# ----------------------------------------------------------------------
+def test_stabilize_links_matches_node_based_stabilize():
+    from repro.core.stabilize import find_violations_links, stabilize_links
+    from repro.sim.rng import spawn_rng
+
+    g = random_geometric_graph(18, 0.4, seed=11)
+    tree = bfs_tree(g, 0)
+    _, nodes = make_nodes(tree, g)
+    rng = spawn_rng(11, "corrupt-links")
+    for nd in nodes:
+        choices = tree.neighbors(nd.node_id) + [nd.node_id]
+        nd.link = choices[rng.integers(len(choices))]
+    link = [nd.link for nd in nodes]
+    fixes_nodes = stabilize(nodes, tree)
+    fixes_links = stabilize_links(link, tree)
+    assert fixes_links == fixes_nodes
+    assert link == [nd.link for nd in nodes]
+    assert not find_violations_links(link, tree)
+
+
+@pytest.mark.parametrize("engine", ["fast", "batch", "message"])
+def test_repair_after_crash_per_engine(engine):
+    """A crash mid-run degrades the tree; the engines must route the
+    repair through the stabilisation pass and finish every surviving
+    request — stabilize is the live repair step, not a standalone demo."""
+    from repro.faults import run_arrow_faulted
+    from repro.graphs import complete_graph
+    from repro.workloads.schedules import poisson
+
+    graph = complete_graph(10)
+    tree = bfs_tree(graph, 0)
+    schedule = poisson(10, 60, 4.0, seed=4)
+    result, report = run_arrow_faulted(
+        graph, tree, schedule, "crash@3.0:2,crash@6.0:5",
+        engine=engine, seed=5, service_time=0.1,
+    )
+    assert report.repairs_run >= 1
+    assert report.corrections_applied >= 1
+    assert report.final_violations == 0
+    assert report.time_to_recovery > 0.0
+    assert len(result.completions) + report.requests_lost == len(schedule)
