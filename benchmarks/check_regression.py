@@ -11,6 +11,11 @@ silently eroding the archived trajectory.  Improvements beyond the
 tolerance are reported but never fail: the gate is one-sided, guarding
 the floor.
 
+The comparison itself lives in :func:`repro.results.compare.compare_bench`
+(shared with ``repro-arrow results compare --baseline/--fresh``); this
+script is the thin CI entry point with the historical flags and exit
+codes.
+
 Usage::
 
     python benchmarks/check_regression.py \
@@ -22,50 +27,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+
+try:
+    from repro.results.compare import compare_bench
+except ImportError:  # CI runs this script without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+    from repro.results.compare import compare_bench
 
 
 def compare(
     baseline: dict, fresh: dict, tolerance: float
 ) -> tuple[list[str], list[str]]:
     """Compare per-scenario speedups; return (report_lines, regressions)."""
-    report: list[str] = []
-    regressions: list[str] = []
-    for name in sorted(baseline):
-        base = baseline[name].get("speedup")
-        if name not in fresh:
-            regressions.append(
-                f"{name}: in baseline but missing from fresh results"
-            )
-            continue
-        new = fresh[name].get("speedup")
-        if not isinstance(base, (int, float)) or not isinstance(new, (int, float)):
-            regressions.append(f"{name}: speedup missing or non-numeric")
-            continue
-        if base < 1.0:
-            # Mirrors the bench suite's own floor policy: scenarios where
-            # the batch engine's contract is "no worse" (baseline below
-            # 1.0, e.g. the deterministic storm) are the most
-            # machine-sensitive ratios — parity is asserted in-suite, so
-            # here they are reported, not gated.
-            report.append(
-                f"{name}: speedup {base:.3f} -> {new:.3f} "
-                "(baseline < 1.0: no-worse contract, reported not gated)"
-            )
-            continue
-        floor = base * (1.0 - tolerance)
-        delta = (new - base) / base * 100.0
-        line = (
-            f"{name}: speedup {base:.3f} -> {new:.3f} "
-            f"({delta:+.1f}%, floor {floor:.3f})"
-        )
-        if new < floor:
-            regressions.append(line + "  REGRESSION")
-        else:
-            report.append(line + "  ok")
-    for name in sorted(set(fresh) - set(baseline)):
-        report.append(f"{name}: new scenario (no baseline), not gated")
-    return report, regressions
+    return compare_bench(baseline, fresh, tolerance)
 
 
 def main(argv: list[str] | None = None) -> int:

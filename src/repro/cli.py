@@ -126,6 +126,251 @@ def _emit(results, args) -> None:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(docs, fh, indent=2)
         print(f"wrote {args.json}")
+    if getattr(args, "store", None):
+        from repro.results import ResultsStore
+
+        store = ResultsStore(args.store)
+        for r in results:
+            path = store.put_experiment(r)
+            print(f"archived {r.experiment_id} -> {path}")
+
+
+def _add_grid_arguments(parser) -> None:
+    """Grid-identity flags shared by ``sweep`` and ``results ingest``.
+
+    Everything here feeds :func:`_build_grid_spec`, so the two commands
+    cannot drift apart: the spec an ingest hashes is built by the same
+    code path as the spec the sweep ran.
+    """
+    parser.add_argument(
+        "--grid",
+        choices=["fig10", "fig11", "mixed", "smoke", "directory"],
+        default="smoke",
+        help="named grid preset (fig10 = closed-loop arrow vs centralized, "
+             "directory = §5.1 arrow vs home-based directory)",
+    )
+    parser.add_argument("--sizes", type=_int_list, default=None,
+                        help="system sizes (fig10/fig11/directory grids only)")
+    parser.add_argument("--per-node", type=int, default=None,
+                        help="requests per node (fig11 grid only)")
+    parser.add_argument("--requests-per-proc", type=int, default=None,
+                        help="closed-loop requests per processor "
+                             "(fig10 grid only)")
+    parser.add_argument("--think-time", type=float, default=None,
+                        help="closed-loop think time (fig10 grid only)")
+    parser.add_argument("--acquisitions-per-proc", type=int, default=None,
+                        help="directory acquisitions per processor "
+                             "(directory grid only)")
+    parser.add_argument("--seeds", type=_int_list, default=None)
+    parser.add_argument("--faults", action="append", default=None,
+                        metavar="PLAN",
+                        help="fault plan applied to every cell: "
+                             "comma-separated crash@T:NODE, link@U-V:T0-T1, "
+                             "loss:RATE terms (open-loop grids only; repeat "
+                             "the flag to sweep a fault axis of several "
+                             "plans)")
+    parser.add_argument("--engine", choices=["fast", "message", "batch"],
+                        default="fast")
+
+
+def _build_grid_spec(args, error):
+    """Expand the preset + overrides into a SweepSpec (or ``error`` out)."""
+    from repro.sweep import (
+        directory_grid,
+        fig10_grid,
+        fig11_grid,
+        mixed_grid,
+        smoke_grid,
+    )
+
+    if args.grid not in ("fig10", "fig11", "directory") and args.sizes:
+        error("--sizes only applies to --grid fig10/fig11/directory")
+    if args.grid != "fig11" and args.per_node is not None:
+        error("--per-node only applies to --grid fig11")
+    if args.grid != "fig10" and (
+        args.requests_per_proc is not None or args.think_time is not None
+    ):
+        error("--requests-per-proc/--think-time only apply to --grid fig10")
+    if args.grid != "directory" and args.acquisitions_per_proc is not None:
+        error("--acquisitions-per-proc only applies to --grid directory")
+    # Omitted flags fall through to the preset's own defaults.
+    kwargs: dict = {"engine": args.engine}
+    if args.seeds:
+        kwargs["seeds"] = tuple(args.seeds)
+    if args.sizes:
+        kwargs["sizes"] = tuple(args.sizes)
+    if args.grid == "fig10":
+        if args.requests_per_proc is not None:
+            kwargs["requests_per_proc"] = args.requests_per_proc
+        if args.think_time is not None:
+            kwargs["think_time"] = args.think_time
+        spec = fig10_grid(**kwargs)
+    elif args.grid == "fig11":
+        if args.per_node is not None:
+            kwargs["per_node"] = args.per_node
+        spec = fig11_grid(**kwargs)
+    elif args.grid == "directory":
+        if args.acquisitions_per_proc is not None:
+            kwargs["acquisitions_per_proc"] = args.acquisitions_per_proc
+        spec = directory_grid(**kwargs)
+    elif args.grid == "mixed":
+        spec = mixed_grid(**kwargs)
+    else:
+        spec = smoke_grid(**kwargs)
+    if args.faults or getattr(args, "monitors", False):
+        import dataclasses
+
+        from repro.errors import SweepError
+
+        try:
+            spec = dataclasses.replace(
+                spec,
+                **({"faults": tuple(args.faults)} if args.faults else {}),
+                **(
+                    {"monitors": True}
+                    if getattr(args, "monitors", False)
+                    else {}
+                ),
+            )
+        except SweepError as exc:
+            error(str(exc))
+    return spec
+
+
+def _compare_side(store, key_or_path: str):
+    """A compare operand is a JSONL path when it names a file, else a key."""
+    import os
+
+    from repro.sweep import persist
+
+    if os.path.isfile(key_or_path):
+        return persist.iter_rows(key_or_path)
+    return store.rows(key_or_path)
+
+
+def _results_command(args, ingest_error, compare_error) -> int:
+    """Dispatch the ``results`` subcommand group; returns an exit code."""
+    from repro.errors import ReproError
+    from repro.results import ResultsStore, compare_rows, figure_from_rows
+    from repro.results.compare import bench_doc, compare_bench
+
+    store = ResultsStore(args.store)
+    try:
+        if args.results_cmd == "ingest":
+            spec = _build_grid_spec(args, ingest_error)
+            for path in args.jsonl:
+                print(store.ingest(spec, path).summary())
+        elif args.results_cmd == "list":
+            runs = store.list_runs()
+            for m in runs:
+                state = (
+                    "complete"
+                    if m.get("complete")
+                    else f"partial {m.get('ingested')}/{m.get('cells')}"
+                )
+                print(f"run         {m['spec_hash'][:12]}  "
+                      f"{m.get('name', '?'):<12}{state}")
+            for eid in store.list_experiments():
+                print(f"experiment  {eid}")
+            if not runs and not store.list_experiments():
+                print(f"(empty store: {store.root})")
+        elif args.results_cmd in ("table", "plot"):
+            manifest = store.manifest(args.run)
+            result = figure_from_rows(
+                manifest["name"], store.rows(args.run), metric=args.metric
+            )
+            if args.results_cmd == "plot":
+                print(plot(result))
+            else:
+                print(format_table(result))
+                if args.percentiles:
+                    sketch = store.grid_sketch(args.run)
+                    print()
+                    if sketch.count:
+                        print(
+                            format_kv(
+                                {
+                                    "requests": sketch.count,
+                                    "p50": round(sketch.quantile(50), 6),
+                                    "p90": round(sketch.quantile(90), 6),
+                                    "p99": round(sketch.quantile(99), 6),
+                                    "max": round(sketch.max_value(), 6),
+                                },
+                                title="grid latency percentiles "
+                                      "(merged sketch, histogram-backed)",
+                            )
+                        )
+                    else:
+                        print("(no latency histograms stored for this run)")
+        elif args.results_cmd == "compare":
+            bench_mode = args.baseline is not None or args.fresh is not None
+            row_mode = args.a is not None or args.b is not None
+            if bench_mode and row_mode:
+                compare_error("--baseline/--fresh (bench mode) and --a/--b "
+                              "(row mode) are mutually exclusive")
+            if bench_mode:
+                if args.baseline is None or args.fresh is None:
+                    compare_error("bench mode needs both --baseline and "
+                                  "--fresh")
+                with open(args.baseline, "r", encoding="utf-8") as fh:
+                    baseline = json.load(fh)
+                with open(args.fresh, "r", encoding="utf-8") as fh:
+                    fresh = json.load(fh)
+                report, regressions = compare_bench(
+                    baseline, fresh, args.tolerance
+                )
+                for line in report:
+                    print(line)
+                if args.out:
+                    doc = bench_doc(
+                        baseline, fresh, args.tolerance, report, regressions
+                    )
+                    with open(args.out, "w", encoding="utf-8") as fh:
+                        json.dump(doc, fh, indent=2, sort_keys=True)
+                        fh.write("\n")
+                    print(f"wrote {args.out}")
+                if regressions:
+                    for line in regressions:
+                        print(line, file=sys.stderr)
+                    print(
+                        f"results compare FAILED: {len(regressions)} "
+                        f"regression(s) beyond tolerance {args.tolerance}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(f"results compare OK: {len(report)} scenario line(s), "
+                      "no regressions")
+            else:
+                if args.a is None or args.b is None:
+                    compare_error("row mode needs both --a and --b (store "
+                                  "run keys or sweep JSONL paths)")
+                cmp = compare_rows(
+                    _compare_side(store, args.a),
+                    _compare_side(store, args.b),
+                    max_delta_pct=args.max_delta_pct,
+                )
+                for line in cmp.report_lines():
+                    print(line)
+                if args.out:
+                    with open(args.out, "w", encoding="utf-8") as fh:
+                        json.dump(cmp.to_doc(), fh, indent=2, sort_keys=True)
+                        fh.write("\n")
+                    print(f"wrote {args.out}")
+                if not cmp.ok:
+                    for line in cmp.problems + cmp.exceeding:
+                        print(line, file=sys.stderr)
+                    print(
+                        f"results compare FAILED: {len(cmp.problems)} "
+                        f"problem(s), {len(cmp.exceeding)} delta(s) beyond "
+                        "tolerance",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print("results compare OK")
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"results {args.results_cmd} FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -135,6 +380,9 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduce the arrow-protocol paper's figures and theorems",
     )
     top.add_argument("--json", help="also write results to this JSON file")
+    top.add_argument("--store", default=None, metavar="DIR",
+                     help="also archive each experiment's canonical record "
+                          "into this results store (see 'results' commands)")
     sub = top.add_subparsers(dest="cmd", required=True)
 
     p10 = sub.add_parser("fig10", help="arrow vs centralized closed-loop latency")
@@ -203,36 +451,11 @@ def main(argv: list[str] | None = None) -> int:
     psw = sub.add_parser(
         "sweep", help="declarative parameter sweep over graphs/trees/schedules"
     )
-    psw.add_argument(
-        "--grid",
-        choices=["fig10", "fig11", "mixed", "smoke", "directory"],
-        default="smoke",
-        help="named grid preset (fig10 = closed-loop arrow vs centralized, "
-             "directory = §5.1 arrow vs home-based directory)",
-    )
-    psw.add_argument("--sizes", type=_int_list, default=None,
-                     help="system sizes (fig10/fig11/directory grids only)")
-    psw.add_argument("--per-node", type=int, default=None,
-                     help="requests per node (fig11 grid only)")
-    psw.add_argument("--requests-per-proc", type=int, default=None,
-                     help="closed-loop requests per processor (fig10 grid only)")
-    psw.add_argument("--think-time", type=float, default=None,
-                     help="closed-loop think time (fig10 grid only)")
-    psw.add_argument("--acquisitions-per-proc", type=int, default=None,
-                     help="directory acquisitions per processor "
-                          "(directory grid only)")
-    psw.add_argument("--seeds", type=_int_list, default=None)
-    psw.add_argument("--faults", action="append", default=None, metavar="PLAN",
-                     help="fault plan applied to every cell: comma-separated "
-                          "crash@T:NODE, link@U-V:T0-T1, loss:RATE terms "
-                          "(open-loop grids only; repeat the flag to sweep "
-                          "a fault axis of several plans)")
+    _add_grid_arguments(psw)
     psw.add_argument("--monitors", action="store_true",
                      help="attach runtime protocol monitors to every cell; "
                           "rows are unchanged, an invariant violation "
                           "aborts the sweep")
-    psw.add_argument("--engine", choices=["fast", "message", "batch"],
-                     default="fast")
     psw.add_argument("--workers", type=int, default=1)
     psw.add_argument("--out", default="sweep.jsonl", help="JSONL output path")
     psw.add_argument("--no-resume", action="store_true",
@@ -277,6 +500,72 @@ def main(argv: list[str] | None = None) -> int:
     psm.add_argument("--out", required=True, help="merged JSONL output path")
     psm.add_argument("--expect-cells", type=int, default=None,
                      help="require exactly this many rows across all shards")
+
+    pres = sub.add_parser(
+        "results",
+        help="content-addressed results store: ingest sweep JSONL, "
+             "regenerate canonical tables/plots, compare runs",
+    )
+    rsub = pres.add_subparsers(dest="results_cmd", required=True)
+
+    pri = rsub.add_parser(
+        "ingest",
+        help="ingest merged sweep JSONL into the store under the grid's "
+             "spec hash (idempotent; partial grids fill in on re-ingest)",
+    )
+    pri.add_argument("jsonl", nargs="+", help="sweep JSONL file(s) to ingest")
+    pri.add_argument("--store", default="results", metavar="DIR",
+                     help="store root directory (default: results)")
+    _add_grid_arguments(pri)
+
+    prl = rsub.add_parser("list", help="list stored runs and experiments")
+    prl.add_argument("--store", default="results", metavar="DIR")
+
+    prt = rsub.add_parser(
+        "table",
+        help="render the canonical table for a stored run (no simulation)",
+    )
+    prt.add_argument("run", help="spec hash, unique hash prefix, or grid name")
+    prt.add_argument("--store", default="results", metavar="DIR")
+    prt.add_argument("--metric", default=None,
+                     help="row column to tabulate (default: per-figure)")
+    prt.add_argument("--percentiles", action="store_true",
+                     help="append grid-level latency percentiles from the "
+                          "merged quantile sketch")
+
+    prp = rsub.add_parser(
+        "plot",
+        help="render the canonical ASCII plot for a stored run",
+    )
+    prp.add_argument("run", help="spec hash, unique hash prefix, or grid name")
+    prp.add_argument("--store", default="results", metavar="DIR")
+    prp.add_argument("--metric", default=None,
+                     help="row column to plot (default: per-figure)")
+
+    prc = rsub.add_parser(
+        "compare",
+        help="diff two runs per cell (row mode) or gate a benchmark "
+             "trajectory (bench mode, subsuming check_regression)",
+    )
+    prc.add_argument("--store", default="results", metavar="DIR")
+    prc.add_argument("--a", default=None,
+                     help="row mode: baseline run key or JSONL path")
+    prc.add_argument("--b", default=None,
+                     help="row mode: fresh run key or JSONL path")
+    prc.add_argument("--max-delta-pct", type=float, default=None,
+                     help="row mode: fail when any per-cell numeric delta "
+                          "exceeds this percentage")
+    prc.add_argument("--baseline", default=None,
+                     help="bench mode: baseline BENCH json (scenario -> "
+                          "{'speedup': ...})")
+    prc.add_argument("--fresh", default=None,
+                     help="bench mode: fresh BENCH json")
+    prc.add_argument("--tolerance", type=float, default=0.25,
+                     help="bench mode: allowed fractional speedup drop "
+                          "(default: 0.25)")
+    prc.add_argument("--out", default=None, metavar="PATH",
+                     help="also write the canonical BENCH_results.json "
+                          "trajectory document here")
 
     args = top.parse_args(argv)
 
@@ -334,6 +623,11 @@ def main(argv: list[str] | None = None) -> int:
                 title="fig9",
             )
         )
+        if args.store:
+            from repro.results import ResultsStore, fig9_result
+
+            path = ResultsStore(args.store).put_experiment(fig9_result(rep))
+            print(f"archived fig9 -> {path}")
     elif args.cmd == "thm319":
         _emit(
             [
@@ -386,63 +680,9 @@ def main(argv: list[str] | None = None) -> int:
             args,
         )
     elif args.cmd == "sweep":
-        from repro.sweep import (
-            directory_grid,
-            fig10_grid,
-            fig11_grid,
-            mixed_grid,
-            run_sweep,
-            shard_path,
-            smoke_grid,
-        )
+        from repro.sweep import run_sweep, shard_path
 
-        if args.grid not in ("fig10", "fig11", "directory") and args.sizes:
-            psw.error("--sizes only applies to --grid fig10/fig11/directory")
-        if args.grid != "fig11" and args.per_node is not None:
-            psw.error("--per-node only applies to --grid fig11")
-        if args.grid != "fig10" and (
-            args.requests_per_proc is not None or args.think_time is not None
-        ):
-            psw.error("--requests-per-proc/--think-time only apply to --grid fig10")
-        if args.grid != "directory" and args.acquisitions_per_proc is not None:
-            psw.error("--acquisitions-per-proc only applies to --grid directory")
-        # Omitted flags fall through to the preset's own defaults.
-        kwargs: dict = {"engine": args.engine}
-        if args.seeds:
-            kwargs["seeds"] = tuple(args.seeds)
-        if args.sizes:
-            kwargs["sizes"] = tuple(args.sizes)
-        if args.grid == "fig10":
-            if args.requests_per_proc is not None:
-                kwargs["requests_per_proc"] = args.requests_per_proc
-            if args.think_time is not None:
-                kwargs["think_time"] = args.think_time
-            spec = fig10_grid(**kwargs)
-        elif args.grid == "fig11":
-            if args.per_node is not None:
-                kwargs["per_node"] = args.per_node
-            spec = fig11_grid(**kwargs)
-        elif args.grid == "directory":
-            if args.acquisitions_per_proc is not None:
-                kwargs["acquisitions_per_proc"] = args.acquisitions_per_proc
-            spec = directory_grid(**kwargs)
-        elif args.grid == "mixed":
-            spec = mixed_grid(**kwargs)
-        else:
-            spec = smoke_grid(**kwargs)
-        if args.faults or args.monitors:
-            import dataclasses
-
-            from repro.errors import SweepError
-
-            try:
-                spec = dataclasses.replace(
-                    spec,
-                    **({"faults": tuple(args.faults)} if args.faults else {}),
-                    **({"monitors": True} if args.monitors else {}),
-                )
-            except SweepError as exc:
-                psw.error(str(exc))
+        spec = _build_grid_spec(args, psw.error)
         if args.shards is not None:
             if args.shard is not None:
                 psw.error("--shard and --shards are mutually exclusive "
@@ -567,6 +807,8 @@ def main(argv: list[str] | None = None) -> int:
             f"sweep-merge OK: {rows} rows from {len(args.shards)} shard(s) "
             f"-> {args.out}"
         )
+    elif args.cmd == "results":
+        return _results_command(args, pri.error, prc.error)
     elif args.cmd == "all":
         _emit(
             [

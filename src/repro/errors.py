@@ -22,6 +22,7 @@ __all__ = [
     "OrchestratorError",
     "ShardFailedError",
     "AnalysisError",
+    "ResultsError",
 ]
 
 
@@ -126,3 +127,11 @@ class ShardFailedError(OrchestratorError):
 
 class AnalysisError(ReproError):
     """Raised by the analysis machinery (cost measures, TSP solvers...)."""
+
+
+class ResultsError(ReproError):
+    """Raised by the content-addressed results store (:mod:`repro.results`).
+
+    Covers ingest problems (rows that do not belong to the spec being
+    ingested, index/cell-id mismatches), lookups that resolve to no — or
+    more than one — stored run, and malformed store directories."""

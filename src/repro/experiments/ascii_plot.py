@@ -17,10 +17,18 @@ _MARKS = "ox+*#@%"
 def plot(
     result: ExperimentResult, *, width: int = 64, height: int = 16
 ) -> str:
-    """Render all series of a result into one character grid."""
-    xs_all = [x for s in result.series for x in s.xs]
-    ys_all = [y for s in result.series for y in s.ys]
-    if not xs_all:
+    """Render all series of a result into one character grid.
+
+    Only complete ``(x, y)`` pairs are plotted: a series whose ``ys``
+    ran short of its ``xs`` (or that is empty outright) contributes its
+    paired prefix — possibly nothing — to the grid and the axis ranges,
+    and still gets a legend entry (marked ``no data`` when it plotted no
+    points) rather than crashing the whole plot on an empty ``min()``.
+    """
+    points = [list(zip(s.xs, s.ys)) for s in result.series]
+    xs_all = [x for pts in points for x, _ in pts]
+    ys_all = [y for pts in points for _, y in pts]
+    if not xs_all or not ys_all:
         return f"(empty plot: {result.title})"
     x_lo, x_hi = min(xs_all), max(xs_all)
     y_lo, y_hi = min(ys_all), max(ys_all)
@@ -29,9 +37,9 @@ def plot(
     if y_hi == y_lo:
         y_hi = y_lo + 1.0
     grid = [[" "] * width for _ in range(height)]
-    for si, s in enumerate(result.series):
+    for si, pts in enumerate(points):
         mark = _MARKS[si % len(_MARKS)]
-        for x, y in zip(s.xs, s.ys):
+        for x, y in pts:
             c = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
             r = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
             grid[height - 1 - r][c] = mark
@@ -40,7 +48,9 @@ def plot(
     lines.append("+" + "-" * width)
     lines.append(f" x: {result.xlabel} {x_lo:.3g}..{x_hi:.3g}")
     legend = "  ".join(
-        f"{_MARKS[i % len(_MARKS)]} {s.name}" for i, s in enumerate(result.series)
+        f"{_MARKS[i % len(_MARKS)]} {s.name}"
+        + ("" if points[i] else " (no data)")
+        for i, s in enumerate(result.series)
     )
     lines.append(" " + legend)
     return "\n".join(lines)

@@ -8,11 +8,27 @@ __all__ = ["format_table", "format_kv"]
 
 
 def format_table(result: ExperimentResult, *, float_fmt: str = "{:.3f}") -> str:
-    """Render a result as a fixed-width table, one row per x value."""
+    """Render a result as a fixed-width table, one row per x value.
+
+    All series are assumed to share one x axis.  When they do not — the
+    series carry different point counts — the x column follows the
+    *longest* series, shorter series pad their missing rows with ``-``,
+    and a ``note:`` line names the mismatched series instead of silently
+    misaligning values against the first series' x values.
+    """
     headers = [result.xlabel] + [
         s.name + (f" [{s.unit}]" if s.unit else "") for s in result.series
     ]
-    xs = result.series[0].xs if result.series else []
+    xs: list[float] = []
+    mismatched: list[str] = []
+    if result.series:
+        longest = max(result.series, key=lambda s: len(s.xs))
+        xs = longest.xs
+        mismatched = [
+            f"{s.name} ({len(s.xs)} points)"
+            for s in result.series
+            if len(s.xs) != len(xs)
+        ]
     rows: list[list[str]] = []
     for i, x in enumerate(xs):
         row = [_fmt(x, float_fmt)]
@@ -31,6 +47,11 @@ def format_table(result: ExperimentResult, *, float_fmt: str = "{:.3f}") -> str:
     ]
     for r in rows:
         out.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    if mismatched:
+        out.append(
+            "note: series lengths differ — x column follows the longest "
+            f"series ({len(xs)} points); padded: {', '.join(mismatched)}"
+        )
     for note in result.notes:
         out.append(f"note: {note}")
     return "\n".join(out)

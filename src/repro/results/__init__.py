@@ -1,0 +1,45 @@
+"""Content-addressed results store + analysis pipeline over sweep JSONL.
+
+Grids produce large merged JSONL artifacts (the sweep executor, shard
+orchestrator and streaming merge); this package makes them *legible*
+without re-running a single simulation:
+
+* :mod:`repro.results.store` — a content-addressed store keyed by the
+  canonical :meth:`~repro.sweep.spec.SweepSpec.spec_hash`, with
+  incremental, idempotent ingest of (possibly partial) sweep JSONL and
+  archived :class:`~repro.experiments.records.ExperimentResult`
+  documents for the non-grid experiments (fig9, competitive, lower
+  bound);
+* :mod:`repro.results.figures` — canonical tables/plots per paper
+  figure, rebuilt from stored rows;
+* :mod:`repro.results.compare` — cross-run comparison (branch vs
+  committed baseline) with per-cell percent deltas, plus the benchmark
+  speedup gate that ``benchmarks/check_regression.py`` delegates to;
+
+all surfaced through the ``repro-arrow results`` CLI subcommand group
+(``ingest`` / ``list`` / ``table`` / ``plot`` / ``compare``).
+
+Grid-level latency percentiles aggregate in one streaming pass: each
+stored row's histogram columns rebuild a mergeable
+:class:`~repro.sweep.stats.QuantileSketch`, and the merged sketch
+answers percentile queries with a documented rank tolerance.
+"""
+
+from repro.results.compare import (
+    RowComparison,
+    compare_bench,
+    compare_rows,
+)
+from repro.results.figures import FIGURE_METRICS, fig9_result, figure_from_rows
+from repro.results.store import IngestReport, ResultsStore
+
+__all__ = [
+    "FIGURE_METRICS",
+    "IngestReport",
+    "ResultsStore",
+    "RowComparison",
+    "compare_bench",
+    "compare_rows",
+    "fig9_result",
+    "figure_from_rows",
+]

@@ -1,0 +1,285 @@
+"""Cross-run comparison: stored grids and benchmark trajectories.
+
+Two modes, one subcommand (``repro-arrow results compare``):
+
+* **Row mode** (:func:`compare_rows`) diffs two stored runs — typically
+  this branch's fresh grid against a committed baseline store — cell by
+  cell, reporting percent deltas per numeric column.  Identity columns
+  (``cell_id``, ``index``, seeds...) are compared for equality; the
+  ``engine`` label is ignored by default (the engines are
+  bit-identical).  With a tolerance, any delta beyond it fails the
+  comparison — the grid-level analogue of the benchmark gate.
+* **Bench mode** (:func:`compare_bench`) is the speedup-trajectory gate
+  that ``benchmarks/check_regression.py`` historically implemented; the
+  script now delegates here, so the CLI, the CI job and the results
+  pipeline share one verdict.
+
+Both modes serialise a canonical ``BENCH_results.json`` document
+(:meth:`RowComparison.to_doc` / :func:`bench_doc`): sorted keys, no
+timestamps, so committed trajectories diff cleanly run over run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "RowComparison",
+    "bench_doc",
+    "compare_bench",
+    "compare_rows",
+]
+
+#: How many offending per-cell deltas a comparison names before eliding.
+_DELTA_CAP = 50
+
+
+# ----------------------------------------------------------------------
+# row mode
+# ----------------------------------------------------------------------
+@dataclass
+class RowComparison:
+    """Outcome of a per-cell diff between two runs of one grid shape."""
+
+    cells_a: int
+    cells_b: int
+    #: Cells present in both runs (the compared population).
+    compared: int
+    #: Structural problems: missing cells, non-numeric disagreements.
+    problems: list[str] = field(default_factory=list)
+    #: column -> {"cells", "changed", "mean_pct", "max_abs_pct"}.
+    columns: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Largest per-cell deltas: (abs_pct, cell_id, column, a, b, pct).
+    top_deltas: list[tuple[float, str, str, float, float, float]] = field(
+        default_factory=list
+    )
+    #: Deltas beyond the tolerance (empty when none given or none exceed).
+    exceeding: list[str] = field(default_factory=list)
+    max_delta_pct: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and not self.exceeding
+
+    def to_doc(self) -> dict[str, Any]:
+        """Canonical JSON-able trajectory document (BENCH_results.json)."""
+        return {
+            "mode": "rows",
+            "cells_a": self.cells_a,
+            "cells_b": self.cells_b,
+            "compared": self.compared,
+            "columns": {
+                k: dict(sorted(v.items())) for k, v in sorted(self.columns.items())
+            },
+            "top_deltas": [
+                {
+                    "cell_id": cell,
+                    "column": col,
+                    "a": a,
+                    "b": b,
+                    "pct": pct,
+                }
+                for _, cell, col, a, b, pct in self.top_deltas
+            ],
+            "problems": list(self.problems),
+            "exceeding": list(self.exceeding),
+            "max_delta_pct": self.max_delta_pct,
+            "ok": self.ok,
+        }
+
+    def report_lines(self) -> list[str]:
+        """Human-readable summary, one line per column + notable deltas."""
+        lines = [
+            f"compared {self.compared} cell(s) "
+            f"({self.cells_a} in A, {self.cells_b} in B)"
+        ]
+        for col, stats in sorted(self.columns.items()):
+            if stats["changed"]:
+                lines.append(
+                    f"  {col}: {int(stats['changed'])}/{int(stats['cells'])} "
+                    f"cell(s) changed, mean {stats['mean_pct']:+.2f}%, "
+                    f"max |{stats['max_abs_pct']:.2f}|%"
+                )
+            else:
+                lines.append(
+                    f"  {col}: identical across {int(stats['cells'])} cell(s)"
+                )
+        for _, cell, col, a, b, pct in self.top_deltas[:10]:
+            lines.append(f"  {cell}: {col} {a:g} -> {b:g} ({pct:+.2f}%)")
+        return lines
+
+
+def _numeric_items(row: dict[str, Any], ignore: tuple[str, ...]):
+    for k, v in row.items():
+        if k in ignore:
+            continue
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            yield k, float(v)
+
+
+def compare_rows(
+    rows_a: Iterable[dict[str, Any]],
+    rows_b: Iterable[dict[str, Any]],
+    *,
+    ignore: tuple[str, ...] = ("engine",),
+    max_delta_pct: float | None = None,
+) -> RowComparison:
+    """Diff two row sets cell by cell; returns a :class:`RowComparison`.
+
+    Rows pair up by ``cell_id``; a cell present on only one side is a
+    problem (the runs cover different grids or one is partial).  Every
+    shared numeric column (minus ``ignore``) gets a percent delta
+    ``(b - a) / a * 100`` — a zero baseline with a non-zero fresh value
+    reports as a problem rather than an infinite percentage.  Non-numeric
+    columns (cell ids, fault labels, ``exclusion_ok``...) must be equal.
+    """
+    by_id_a = {r["cell_id"]: r for r in rows_a if "cell_id" in r}
+    by_id_b = {r["cell_id"]: r for r in rows_b if "cell_id" in r}
+    cmp = RowComparison(
+        cells_a=len(by_id_a),
+        cells_b=len(by_id_b),
+        compared=0,
+        max_delta_pct=max_delta_pct,
+    )
+    only_a = sorted(set(by_id_a) - set(by_id_b))
+    only_b = sorted(set(by_id_b) - set(by_id_a))
+    if only_a:
+        cmp.problems.append(
+            f"{len(only_a)} cell(s) only in A, e.g. {only_a[:3]}"
+        )
+    if only_b:
+        cmp.problems.append(
+            f"{len(only_b)} cell(s) only in B, e.g. {only_b[:3]}"
+        )
+
+    sums: dict[str, list[float]] = {}
+    deltas: list[tuple[float, str, str, float, float, float]] = []
+    for cid in sorted(set(by_id_a) & set(by_id_b)):
+        ra, rb = by_id_a[cid], by_id_b[cid]
+        cmp.compared += 1
+        na = dict(_numeric_items(ra, ignore))
+        nb = dict(_numeric_items(rb, ignore))
+        for k in sorted(na.keys() | nb.keys()):
+            if k not in na or k not in nb:
+                cmp.problems.append(
+                    f"{cid}: column {k!r} present on one side only"
+                )
+                continue
+            a, b = na[k], nb[k]
+            if a == b:
+                pct = 0.0
+            elif a == 0.0:
+                cmp.problems.append(
+                    f"{cid}: {k} changed from 0 to {b:g} "
+                    "(percent delta undefined)"
+                )
+                continue
+            else:
+                pct = (b - a) / a * 100.0
+            sums.setdefault(k, []).append(pct)
+            if pct != 0.0:
+                deltas.append((abs(pct), cid, k, a, b, pct))
+        for k in sorted(
+            (ra.keys() | rb.keys())
+            - set(na)
+            - set(nb)
+            - set(ignore)
+        ):
+            if ra.get(k) != rb.get(k):
+                cmp.problems.append(
+                    f"{cid}: non-numeric column {k!r} differs: "
+                    f"{ra.get(k)!r} vs {rb.get(k)!r}"
+                )
+
+    for k, pcts in sums.items():
+        changed = [p for p in pcts if p != 0.0]
+        cmp.columns[k] = {
+            "cells": float(len(pcts)),
+            "changed": float(len(changed)),
+            "mean_pct": sum(pcts) / len(pcts),
+            "max_abs_pct": max((abs(p) for p in pcts), default=0.0),
+        }
+    deltas.sort(key=lambda d: (-d[0], d[1], d[2]))
+    cmp.top_deltas = deltas[:_DELTA_CAP]
+    if max_delta_pct is not None:
+        for absp, cid, k, a, b, pct in deltas:
+            if absp > max_delta_pct:
+                cmp.exceeding.append(
+                    f"{cid}: {k} {a:g} -> {b:g} ({pct:+.2f}% beyond "
+                    f"±{max_delta_pct}%)"
+                )
+    return cmp
+
+
+# ----------------------------------------------------------------------
+# bench mode (the benchmarks/check_regression.py gate)
+# ----------------------------------------------------------------------
+def compare_bench(
+    baseline: dict, fresh: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Compare per-scenario speedups; return (report_lines, regressions).
+
+    The one-sided benchmark gate: any scenario whose fresh speedup fell
+    below ``baseline * (1 - tolerance)`` — or that vanished from the
+    fresh results — is a regression; improvements are reported but never
+    fail.  Scenarios whose baseline is below 1.0 carry a "no worse"
+    contract asserted in-suite, so they are reported, not gated (they
+    are the most machine-sensitive ratios).
+    """
+    report: list[str] = []
+    regressions: list[str] = []
+    for name in sorted(baseline):
+        base = baseline[name].get("speedup")
+        if name not in fresh:
+            regressions.append(
+                f"{name}: in baseline but missing from fresh results"
+            )
+            continue
+        new = fresh[name].get("speedup")
+        if not isinstance(base, (int, float)) or not isinstance(new, (int, float)):
+            regressions.append(f"{name}: speedup missing or non-numeric")
+            continue
+        if base < 1.0:
+            report.append(
+                f"{name}: speedup {base:.3f} -> {new:.3f} "
+                "(baseline < 1.0: no-worse contract, reported not gated)"
+            )
+            continue
+        floor = base * (1.0 - tolerance)
+        delta = (new - base) / base * 100.0
+        line = (
+            f"{name}: speedup {base:.3f} -> {new:.3f} "
+            f"({delta:+.1f}%, floor {floor:.3f})"
+        )
+        if new < floor:
+            regressions.append(line + "  REGRESSION")
+        else:
+            report.append(line + "  ok")
+    for name in sorted(set(fresh) - set(baseline)):
+        report.append(f"{name}: new scenario (no baseline), not gated")
+    return report, regressions
+
+
+def bench_doc(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float,
+    report: list[str],
+    regressions: list[str],
+) -> dict[str, Any]:
+    """Canonical trajectory document for a bench-mode comparison."""
+    scenarios = {}
+    for name in sorted(set(baseline) | set(fresh)):
+        scenarios[name] = {
+            "baseline": baseline.get(name, {}).get("speedup"),
+            "fresh": fresh.get(name, {}).get("speedup"),
+        }
+    return {
+        "mode": "bench",
+        "tolerance": tolerance,
+        "scenarios": scenarios,
+        "report": list(report),
+        "regressions": list(regressions),
+        "ok": not regressions,
+    }

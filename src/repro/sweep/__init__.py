@@ -67,7 +67,14 @@ from repro.sweep.spec import (
     mixed_grid,
     smoke_grid,
 )
-from repro.sweep.stats import DEFAULT_BINS, latency_columns, percentile_nearest_rank
+from repro.sweep.stats import (
+    DEFAULT_BINS,
+    DEFAULT_COMPRESSION,
+    QuantileSketch,
+    latency_columns,
+    percentile_nearest_rank,
+    sketch_columns,
+)
 
 __all__ = [
     "GraphSpec",
@@ -105,6 +112,9 @@ __all__ = [
     "iter_rows",
     "merge_shards",
     "DEFAULT_BINS",
+    "DEFAULT_COMPRESSION",
+    "QuantileSketch",
     "latency_columns",
     "percentile_nearest_rank",
+    "sketch_columns",
 ]

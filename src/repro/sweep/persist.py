@@ -31,12 +31,20 @@ def dumps_row(row: dict[str, Any]) -> str:
     return json.dumps(row, sort_keys=True, separators=(",", ":"))
 
 
-def _lenient_rows(lines: Iterable[str], path: str) -> Iterator[dict[str, Any]]:
+def _lenient_rows(
+    lines: Iterable[str],
+    path: str,
+    *,
+    skipped: list[str] | None = None,
+) -> Iterator[dict[str, Any]]:
     """Resume-oriented row parse shared by :func:`iter_rows`/:func:`compact`.
 
     A corrupt *final* line is tolerated (partial write of an interrupted
     run); a corrupt line followed by more data indicates real damage and
-    raises :class:`ReproError`.
+    raises :class:`ReproError`.  A dropped line is never silent: pass a
+    ``skipped`` list to receive one ``"path:lineno: ..."`` entry per
+    damaged line that was tolerated, so resume/ingest callers can report
+    "N damaged line(s) skipped" instead of quietly shrinking the file.
     """
     pending_error: str | None = None
     for lineno, line in enumerate(lines, 1):
@@ -50,12 +58,25 @@ def _lenient_rows(lines: Iterable[str], path: str) -> Iterator[dict[str, Any]]:
         except json.JSONDecodeError:
             # Defer: only an error if any non-empty line follows.
             pending_error = f"{path}:{lineno}: corrupt JSONL row mid-file"
+    if pending_error is not None and skipped is not None:
+        skipped.append(
+            pending_error.replace(
+                "corrupt JSONL row mid-file",
+                "torn trailing line dropped (interrupted run)",
+            )
+        )
 
 
-def iter_rows(path: str) -> Iterator[dict[str, Any]]:
-    """Yield the valid rows of a JSONL file (lenient about a torn tail)."""
+def iter_rows(
+    path: str, *, skipped: list[str] | None = None
+) -> Iterator[dict[str, Any]]:
+    """Yield the valid rows of a JSONL file (lenient about a torn tail).
+
+    ``skipped`` (if given) collects a description of every damaged line
+    the lenient parse dropped — see :func:`_lenient_rows`.
+    """
     with open(path, "r", encoding="utf-8") as fh:
-        yield from _lenient_rows(fh, path)
+        yield from _lenient_rows(fh, path, skipped=skipped)
 
 
 def _row_shape_problems(row: dict[str, Any], label: str) -> list[str]:
@@ -185,8 +206,11 @@ def completed_ids(path: str) -> set[str]:
     return {row["cell_id"] for row in iter_rows(path) if "cell_id" in row}
 
 
-def compact(path: str) -> set[str]:
+def compact(path: str, *, skipped: list[str] | None = None) -> set[str]:
     """Drop a truncated trailing line in place; return the completed ids.
+
+    ``skipped`` (if given) records the dropped line, as in
+    :func:`iter_rows`.
 
     The file is read **once** and the parsed rows are compared against
     that same snapshot, then rewritten only when needed (atomic replace),
@@ -203,7 +227,7 @@ def compact(path: str) -> set[str]:
         return set()
     with open(path, "r", encoding="utf-8") as fh:
         current = fh.read()
-    rows = list(_lenient_rows(current.splitlines(), path))
+    rows = list(_lenient_rows(current.splitlines(), path, skipped=skipped))
     text = "".join(dumps_row(r) + "\n" for r in rows)
     if current != text:
         tmp = path + ".tmp"

@@ -1,0 +1,149 @@
+"""Golden-string coverage for the ASCII renderers (tables + plots).
+
+These are the exact bytes the CLI prints and the bench logs archive, so
+they are pinned as goldens: float formatting (whole floats render as
+ints, others as ``.3f``), the mismatched-series padding note, and the
+plot's empty/partial-series guards all have one canonical rendering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ascii_plot import plot
+from repro.experiments.records import ExperimentResult, Series
+from repro.experiments.tables import format_kv, format_table
+
+
+def test_table_golden_with_float_formatting_edges():
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Arrow vs centralized",
+        xlabel="n",
+        series=[
+            Series("arrow", [8.0, 16.0, 32.0], [1.0, 2.5, 10.0 / 3.0],
+                   "sim time"),
+            Series("central", [8.0, 16.0, 32.0], [4.0, 8.0, 16.0]),
+        ],
+        notes=["closed loop"],
+    )
+    assert format_table(result) == (
+        "== fig10: Arrow vs centralized ==\n"
+        "n  | arrow [sim time] | central\n"
+        "---+------------------+--------\n"
+        " 8 |                1 |       4\n"
+        "16 |            2.500 |       8\n"
+        "32 |            3.333 |      16\n"
+        "note: closed loop"
+    )
+
+
+def test_table_pads_mismatched_series_and_notes_it():
+    """A series that ran short pads with '-' instead of misaligning."""
+    short = Series("partial", [8.0, 16.0], [5.0, 6.0])
+    short.ys = [5.0]  # post-construction drift (incremental fill)
+    result = ExperimentResult(
+        "mix", "Mismatch", "n",
+        series=[Series("full", [8.0, 16.0, 32.0], [1.0, 2.0, 3.0]), short],
+    )
+    assert format_table(result) == (
+        "== mix: Mismatch ==\n"
+        "n  | full | partial\n"
+        "---+------+--------\n"
+        " 8 |    1 |       5\n"
+        "16 |    2 |       -\n"
+        "32 |    3 |       -\n"
+        "note: series lengths differ — x column follows the longest "
+        "series (3 points); padded: partial (2 points)"
+    )
+
+
+def test_table_x_column_follows_the_longest_series():
+    a = Series("a", [1.0], [10.0])
+    b = Series("b", [1.0, 2.0, 3.0], [10.0, 20.0, 30.0])
+    table = format_table(ExperimentResult("t", "T", "x", series=[a, b]))
+    assert table.count("\n") == 6  # title + header + sep + 3 rows + note
+    assert "a (1 points)" in table
+
+
+def test_table_with_no_series_and_no_rows():
+    assert format_table(ExperimentResult("t", "T", "x")) == (
+        "== t: T ==\nx\n-"
+    )
+
+
+def test_float_fmt_is_overridable():
+    result = ExperimentResult(
+        "t", "T", "x", series=[Series("s", [1.0], [2.34567])]
+    )
+    assert "2.3457" in format_table(result, float_fmt="{:.4f}")
+    assert "2.346" in format_table(result)
+
+
+def test_format_kv_alignment():
+    assert format_kv({"a": 1, "long_key": 2}, title="t") == (
+        "== t ==\na        : 1\nlong_key : 2"
+    )
+
+
+def test_plot_golden_small_grid():
+    result = ExperimentResult(
+        "p", "Tiny", "n", series=[Series("a", [0.0, 1.0], [0.0, 2.0])]
+    )
+    assert plot(result, width=8, height=4) == (
+        "Tiny  (y: 0..2)\n"
+        "|       o\n"
+        "|        \n"
+        "|        \n"
+        "|o       \n"
+        "+--------\n"
+        " x: n 0..1\n"
+        " o a"
+    )
+
+
+def test_plot_guards_series_with_xs_but_no_ys():
+    """Regression: non-empty xs + empty ys used to crash min() — now the
+    series contributes nothing and is marked in the legend."""
+    broken = Series("b", [1.0], [9.0])
+    broken.ys = []
+    result = ExperimentResult(
+        "p2", "Guarded", "n",
+        series=[Series("a", [0.0, 1.0], [0.0, 2.0]), broken],
+    )
+    assert plot(result, width=8, height=4) == (
+        "Guarded  (y: 0..2)\n"
+        "|       o\n"
+        "|        \n"
+        "|        \n"
+        "|o       \n"
+        "+--------\n"
+        " x: n 0..1\n"
+        " o a  x b (no data)"
+    )
+
+
+def test_plot_with_no_plottable_points_is_a_stub():
+    broken = Series("b", [1.0], [9.0])
+    broken.ys = []
+    result = ExperimentResult("p3", "Nothing", "n", series=[broken])
+    assert plot(result) == "(empty plot: Nothing)"
+    assert plot(ExperimentResult("p4", "Bare", "n")) == "(empty plot: Bare)"
+
+
+def test_plot_partial_series_plots_only_paired_prefix():
+    lagging = Series("lag", [0.0, 1.0, 2.0], [0.0, 1.0, 2.0])
+    lagging.ys = [0.0, 1.0]  # third point not yet filled in
+    out = plot(
+        ExperimentResult("p5", "Lag", "n", series=[lagging]),
+        width=8, height=4,
+    )
+    # The axis range only spans the paired points (x stops at 1, y at 1).
+    assert "x: n 0..1" in out
+    assert "(y: 0..1)" in out
+    assert "(no data)" not in out
+
+
+def test_series_constructor_still_validates_lengths():
+    with pytest.raises(ValueError, match="2 xs vs 1 ys"):
+        Series("s", [1.0, 2.0], [1.0])

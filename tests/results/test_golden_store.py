@@ -1,0 +1,54 @@
+"""The checked-in golden store must match a freshly-run smoke grid.
+
+``tests/golden/results_store`` is the fixture the CI results-pipeline
+job compares against; this test keeps it honest locally — if an engine
+change legitimately alters smoke-grid rows, regenerate the fixture::
+
+    PYTHONPATH=src python -m repro.cli sweep --grid smoke --out /tmp/s.jsonl
+    rm -rf tests/golden/results_store
+    PYTHONPATH=src python -m repro.cli results ingest /tmp/s.jsonl \
+        --store tests/golden/results_store --grid smoke
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.results import ResultsStore, compare_rows
+from repro.sweep import run_sweep, smoke_grid
+from repro.sweep.persist import iter_rows
+
+GOLDEN = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "golden",
+    "results_store",
+)
+
+
+def test_golden_store_matches_a_fresh_smoke_run(tmp_path):
+    spec = smoke_grid()
+    jsonl = tmp_path / "smoke.jsonl"
+    run_sweep(spec, str(jsonl))
+
+    store = ResultsStore(GOLDEN)
+    manifest = store.manifest("smoke")
+    assert manifest["spec_hash"] == spec.spec_hash(), (
+        "the smoke grid's spec hash moved — regenerate the golden store "
+        "(see module docstring)"
+    )
+    assert manifest["complete"] is True
+    cmp = compare_rows(store.rows("smoke"), iter_rows(str(jsonl)),
+                       max_delta_pct=0.0)
+    assert cmp.ok, cmp.problems + cmp.exceeding
+    assert cmp.compared == manifest["cells"]
+
+
+def test_golden_rows_file_is_byte_canonical():
+    """Stored bytes == canonical re-serialisation (no drift on re-ingest)."""
+    from repro.sweep.persist import dumps_row
+
+    store = ResultsStore(GOLDEN)
+    path = store.rows_path(store.resolve("smoke"))
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = fh.read()
+    assert raw == "".join(dumps_row(r) + "\n" for r in iter_rows(path))

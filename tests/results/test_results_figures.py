@@ -1,0 +1,103 @@
+"""Canonical figures rebuilt from stored rows (``repro.results.figures``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ResultsError
+from repro.results import figure_from_rows, fig9_result
+
+
+def row(**kw):
+    base = {
+        "cell_id": "c",
+        "index": 0,
+        "n": 8,
+        "seed": 0,
+        "graph": "complete(n=8)",
+        "tree": "bfs",
+        "schedule": "poisson(rate=1)",
+        "makespan": 10.0,
+        "mean_hops": 1.5,
+    }
+    base.update(kw)
+    return base
+
+
+def test_series_split_by_schedule_family_and_seed_average():
+    rows = [
+        row(seed=0, makespan=10.0),
+        row(seed=1, makespan=14.0),
+        row(seed=0, n=16, makespan=20.0),
+        row(seed=1, n=16, makespan=24.0),
+        row(schedule="burst(k=3)", makespan=50.0),
+        row(schedule="burst(k=3)", n=16, makespan=60.0),
+    ]
+    result = figure_from_rows("fig10", rows)
+    assert result.experiment_id == "fig10"
+    assert [s.name for s in result.series] == ["burst", "poisson"]
+    poisson = result.series[1]
+    assert poisson.xs == [8.0, 16.0]
+    assert poisson.ys == [12.0, 22.0]  # seeds averaged per x
+    assert result.params["metric"] == "makespan"
+    assert any("2 seed(s)" in n for n in result.notes)
+
+
+def test_axes_join_the_label_only_when_swept():
+    rows = [
+        row(tree="bfs"),
+        row(tree="mst", makespan=11.0),
+    ]
+    result = figure_from_rows("smoke", rows)
+    assert [s.name for s in result.series] == ["poisson/bfs", "poisson/mst"]
+    # Single tree, many graph families -> graph joins instead.
+    rows = [row(), row(graph="path(n=8)", makespan=9.0)]
+    result = figure_from_rows("smoke", rows)
+    assert [s.name for s in result.series] == [
+        "poisson/complete",
+        "poisson/path",
+    ]
+
+
+def test_fault_plans_never_average_with_fault_free_rows():
+    rows = [row(), row(faults="crash@1.0:3", makespan=99.0)]
+    result = figure_from_rows("smoke", rows)
+    assert [s.name for s in result.series] == [
+        "poisson",
+        "poisson/f[crash@1.0:3]",
+    ]
+
+
+def test_default_metric_per_figure_and_override():
+    rows = [row()]
+    assert figure_from_rows("fig11", rows).params["metric"] == "mean_hops"
+    result = figure_from_rows("fig11", rows, metric="makespan")
+    assert result.params["metric"] == "makespan"
+    assert "makespan" in result.title
+
+
+def test_missing_metric_lists_numeric_columns():
+    with pytest.raises(ResultsError, match="numeric columns:.*makespan"):
+        figure_from_rows("fig10", [row()], metric="nope")
+    with pytest.raises(ResultsError, match="no rows"):
+        figure_from_rows("fig10", [])
+    with pytest.raises(ResultsError, match="not numeric"):
+        figure_from_rows("fig10", [row(makespan="oops")])
+
+
+def test_fig9_result_adapter():
+    from repro.experiments import run_fig9
+
+    rep = run_fig9(16, 2, variant="layered")
+    result = fig9_result(rep)
+    assert result.experiment_id == "fig9"
+    names = [s.name for s in result.series]
+    assert "arrow cost" in names and "ratio" in names
+    assert all(s.xs == [float(rep.D)] for s in result.series)
+    assert result.params["variant"] == "layered"
+    # Round-trips through the records JSON codec (store format).
+    from repro.experiments.records import ExperimentResult
+
+    assert ExperimentResult.from_json(result.to_json()).series[0].ys == (
+        result.series[0].ys
+    )

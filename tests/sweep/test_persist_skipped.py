@@ -1,0 +1,74 @@
+"""Damaged-line accounting in the lenient JSONL readers.
+
+The lenient parse has always *dropped* a torn trailing line (the
+signature of a killed run); what ingest and resume callers need on top
+is that the drop is reported, not silent — ``iter_rows``/``compact``
+collect one entry per tolerated line into a caller-supplied ``skipped``
+list, while mid-file corruption keeps raising.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sweep.persist import compact, dumps_row, iter_rows
+
+ROWS = [
+    {"cell_id": "a", "index": 0, "n": 4},
+    {"cell_id": "b", "index": 1, "n": 8},
+]
+
+
+def write_jsonl(path, rows, tail=""):
+    text = "".join(dumps_row(r) + "\n" for r in rows) + tail
+    path.write_text(text, encoding="utf-8")
+
+
+def test_torn_tail_is_reported_in_skipped(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    write_jsonl(path, ROWS, tail='{"cell_id": "c", "ind')
+    skipped: list[str] = []
+    rows = list(iter_rows(str(path), skipped=skipped))
+    assert rows == ROWS
+    assert len(skipped) == 1
+    assert skipped[0].startswith(f"{path}:3:")
+    assert "torn trailing line dropped" in skipped[0]
+
+
+def test_clean_file_reports_nothing(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    write_jsonl(path, ROWS)
+    skipped: list[str] = []
+    assert list(iter_rows(str(path), skipped=skipped)) == ROWS
+    assert skipped == []
+
+
+def test_without_skipped_list_the_drop_stays_tolerated(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    write_jsonl(path, ROWS, tail="not json")
+    assert list(iter_rows(str(path))) == ROWS
+
+
+def test_mid_file_corruption_still_raises(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    path.write_text(
+        dumps_row(ROWS[0]) + "\n{broken\n" + dumps_row(ROWS[1]) + "\n",
+        encoding="utf-8",
+    )
+    skipped: list[str] = []
+    with pytest.raises(ReproError, match="corrupt JSONL row mid-file"):
+        list(iter_rows(str(path), skipped=skipped))
+
+
+def test_compact_reports_the_dropped_tail(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    write_jsonl(path, ROWS, tail='{"torn"')
+    skipped: list[str] = []
+    ids = compact(str(path), skipped=skipped)
+    assert ids == {"a", "b"}
+    assert len(skipped) == 1
+    # The rewrite healed the file: a second read is clean.
+    again: list[str] = []
+    assert list(iter_rows(str(path), skipped=again)) == ROWS
+    assert again == []
